@@ -1,0 +1,38 @@
+"""§III.D — fine-grained messages use the network bandwidth well.
+
+Paper: Anton reaches 50% of its maximum possible data bandwidth with
+28-byte messages, versus 1.4 KB (Blue Gene/L), 16 KB (Red Storm) and
+39 KB (ASC Purple) — three orders of magnitude smaller.
+"""
+
+from conftest import once
+
+from repro.analysis import bandwidth_efficiency, render_series
+from repro.analysis.transfer import half_bandwidth_payload
+
+PAYLOADS = (4, 8, 16, 24, 28, 32, 48, 64, 96, 128, 192, 256)
+
+#: Published half-bandwidth message sizes of the comparison machines
+#: ([25] via §III.D), in bytes.
+COMPARISON = {"Blue Gene/L": 1_400, "Red Storm": 16_000, "ASC Purple": 39_000}
+
+
+def bench_bandwidth_efficiency(benchmark, publish):
+    effs = once(
+        benchmark,
+        lambda: [bandwidth_efficiency(p) for p in PAYLOADS],
+    )
+    text = render_series(
+        "Bandwidth efficiency vs payload size (fraction of max data bandwidth)",
+        "payload B",
+        list(PAYLOADS),
+        {"efficiency": effs},
+        float_format="{:.3f}",
+    )
+    p50 = half_bandwidth_payload()
+    text += f"\n\n50% of max data bandwidth at {p50} B (paper: 28 B); "
+    text += ", ".join(f"{m}: {b:,} B" for m, b in COMPARISON.items())
+    publish("bandwidth_efficiency", text)
+    assert 24 <= p50 <= 32
+    # Three orders of magnitude below the best commodity comparison.
+    assert min(COMPARISON.values()) / p50 > 40

@@ -1,0 +1,32 @@
+"""Figure 5 — one-way counted-remote-write latency vs network hops.
+
+Paper: 162 ns at one X hop; +76 ns per extra X hop; +54 ns per Y/Z
+hop; 822 ns at the 12-hop diameter of the 8×8×8 machine; the 256-byte
+and bidirectional curves run parallel to the 0-byte unidirectional
+curve.
+"""
+
+from conftest import once
+
+from repro.analysis import latency_vs_hops, render_series
+
+
+def bench_fig5(benchmark, publish):
+    points = once(benchmark, lambda: latency_vs_hops(shape=(8, 8, 8)))
+    text = render_series(
+        "Figure 5 — one-way latency (ns) vs network hops (8x8x8 machine)",
+        "hops",
+        [p.hops for p in points],
+        {
+            "0B uni": [p.uni_0b for p in points],
+            "0B bidi": [p.bi_0b for p in points],
+            "256B uni": [p.uni_256b for p in points],
+            "256B bidi": [p.bi_256b for p in points],
+        },
+    )
+    publish("fig5_latency_vs_hops", text)
+    one_hop = points[1]
+    twelve = points[12]
+    assert one_hop.uni_0b == 162.0, "headline latency must be exact"
+    assert twelve.uni_0b == 822.0
+    assert 4.5 < twelve.uni_0b / one_hop.uni_0b < 5.5  # "five times higher"

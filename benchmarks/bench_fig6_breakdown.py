@@ -1,0 +1,29 @@
+"""Figure 6 — component breakdown of the 162 ns single-hop write.
+
+Paper: 36 ns slice send + 19 ns source ring + 2×20 ns link adapters
+(wire folded in) + 25 ns destination ring + 42 ns successful counter
+poll = 162 ns.  The benchmark verifies the simulated end-to-end number
+equals the sum of the calibrated components.
+"""
+
+from conftest import once
+
+from repro.analysis import breakdown_162ns, ping_pong_ns, render_table
+
+
+def bench_fig6(benchmark, publish):
+    parts = breakdown_162ns()
+    measured = once(
+        benchmark, lambda: ping_pong_ns((8, 8, 8), (1, 0, 0), 0)
+    )
+    rows = [[label, ns] for label, ns in parts]
+    rows.append(["TOTAL (sum of components)", sum(ns for _, ns in parts)])
+    rows.append(["measured end-to-end (simulated)", measured])
+    text = render_table(
+        "Figure 6 — single X-hop counted-remote-write latency breakdown (ns)",
+        ["component", "ns"],
+        rows,
+        float_format="{:.1f}",
+    )
+    publish("fig6_breakdown", text)
+    assert measured == sum(ns for _, ns in parts) == 162.0

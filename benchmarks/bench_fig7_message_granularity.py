@@ -1,0 +1,49 @@
+"""Figure 7 — 2 KB transferred as 1–64 messages: Anton vs InfiniBand.
+
+Paper (panel b, normalised): Anton's total transfer time grows only
+~3.5× from one message to 64, while the InfiniBand cluster grows
+~7–8×; in absolute terms the cluster is an order of magnitude slower
+throughout (panel a).
+"""
+
+from conftest import once
+
+from repro.analysis import render_series, transfer_split_series
+
+COUNTS = (1, 2, 4, 8, 16, 24, 32, 48, 64)
+
+
+def bench_fig7(benchmark, publish):
+    points = once(benchmark, lambda: transfer_split_series(2048, COUNTS))
+    xs = [p.num_messages for p in points]
+    absolute = render_series(
+        "Figure 7a — total 2 KB transfer time (µs) vs number of messages",
+        "messages",
+        xs,
+        {
+            "InfiniBand": [p.infiniband_ns / 1000 for p in points],
+            "Anton 4 hops": [p.anton_4hop_ns / 1000 for p in points],
+            "Anton 1 hop": [p.anton_1hop_ns / 1000 for p in points],
+        },
+        float_format="{:.2f}",
+    )
+    base = points[0]
+    normalised = render_series(
+        "Figure 7b — transfer time normalised to the single-message case",
+        "messages",
+        xs,
+        {
+            "InfiniBand": [p.infiniband_ns / base.infiniband_ns for p in points],
+            "Anton 4 hops": [p.anton_4hop_ns / base.anton_4hop_ns for p in points],
+            "Anton 1 hop": [p.anton_1hop_ns / base.anton_1hop_ns for p in points],
+        },
+        float_format="{:.2f}",
+    )
+    publish("fig7_message_granularity", absolute + "\n\n" + normalised)
+    last = points[-1]
+    # Anton: modest growth; InfiniBand: large growth (the paper's point).
+    assert last.anton_1hop_ns / base.anton_1hop_ns < 4.5
+    assert last.infiniband_ns / base.infiniband_ns > 5.0
+    # Absolute gap: the cluster is slower at every point.
+    for p in points:
+        assert p.infiniband_ns > p.anton_4hop_ns > p.anton_1hop_ns

@@ -1,0 +1,46 @@
+"""§IV.B.5 — the migration flush synchronization costs 0.56 µs.
+
+An empty migration phase exercises only the protocol overhead: the
+in-order multicast counted remote write to all 26 neighbours plus the
+receivers' flush-counter poll and FIFO drain.
+"""
+
+import pytest
+from conftest import get_scale, once
+
+from repro.analysis import render_table
+from repro.asic import build_machine
+from repro.comm import MigrationProtocol
+from repro.engine import Simulator
+
+
+def bench_migration_sync(benchmark, publish):
+    shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
+
+    def run():
+        sim = Simulator()
+        machine = build_machine(sim, *shape)
+        mig = MigrationProtocol(machine)
+        empty = mig.run().elapsed_us
+        # A busy migration for contrast: 4 atoms leave every node.
+        torus = machine.torus
+        moves = {}
+        for c in torus.nodes():
+            neigh = torus.moore_neighbors(c)
+            moves[c] = [(neigh[i % len(neigh)], i) for i in range(4)]
+        busy = mig.run(moves)
+        return empty, busy.elapsed_us, busy.messages_sent
+
+    empty_us, busy_us, msgs = once(benchmark, run)
+    text = render_table(
+        f"Migration synchronization on {shape[0]}x{shape[1]}x{shape[2]}",
+        ["phase", "µs"],
+        [
+            ["empty migration (pure flush sync; paper: 0.56)", empty_us],
+            [f"migration moving {msgs} atoms", busy_us],
+        ],
+    )
+    publish("migration_sync", text)
+    if shape == (8, 8, 8):
+        assert empty_us == pytest.approx(0.56, rel=0.5)
+    assert busy_us > empty_us

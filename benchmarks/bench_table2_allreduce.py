@@ -1,0 +1,59 @@
+"""Table 2 — global all-reduce times across machine configurations.
+
+Paper (µs): 64 nodes 0.96/1.31; 128 (8×2×8) 1.24/1.64; 256 (8×8×4)
+1.27/1.68; 512 1.32/1.77; 1024 (8×8×16) 1.56/2.06 for 0-byte/32-byte
+reductions.
+"""
+
+import pytest
+from conftest import get_scale, once
+
+from repro.analysis import render_table
+from repro.asic import build_machine
+from repro.comm.collectives import AllReduce
+from repro.constants import PAPER_TABLE2_US
+from repro.engine import Simulator
+
+SHAPES = [(4, 4, 4), (8, 2, 8), (8, 8, 4), (8, 8, 8), (8, 8, 16)]
+
+
+def _measure(shape):
+    sim = Simulator()
+    machine = build_machine(sim, *shape)
+    r0 = AllReduce(machine, payload_bytes=0).run().elapsed_us
+    r32 = AllReduce(machine, payload_bytes=32).run().elapsed_us
+    return r0, r32
+
+
+def bench_table2(benchmark, publish):
+    shapes = SHAPES[:3] if get_scale() == "quick" else SHAPES
+
+    def run():
+        return {shape: _measure(shape) for shape in shapes}
+
+    results = once(benchmark, run)
+    rows = []
+    for shape in shapes:
+        r0, r32 = results[shape]
+        paper = PAPER_TABLE2_US[shape]
+        n = shape[0] * shape[1] * shape[2]
+        rows.append(
+            [
+                f"{n} ({shape[0]}x{shape[1]}x{shape[2]})",
+                r0, paper["reduce0"], r32, paper["reduce32"],
+            ]
+        )
+    text = render_table(
+        "Table 2 — global all-reduce time (µs), simulated vs paper",
+        ["nodes", "0B sim", "0B paper", "32B sim", "32B paper"],
+        rows,
+    )
+    publish("table2_allreduce", text)
+    for shape in shapes:
+        r0, r32 = results[shape]
+        paper = PAPER_TABLE2_US[shape]
+        assert r0 == pytest.approx(paper["reduce0"], rel=0.20)
+        assert r32 == pytest.approx(paper["reduce32"], rel=0.20)
+    # Monotone in machine size, and 32B costs more than 0B.
+    times0 = [results[s][0] for s in shapes]
+    assert times0 == sorted(times0)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+
+* prints it (visible with ``pytest -s``),
+* writes it to ``benchmarks/results/<name>.txt``,
+
+so `bench_output.txt` plus the results directory together hold the
+whole reproduced evaluation.  Set ``REPRO_BENCH_SCALE=quick`` to run
+the MD benchmarks on a reduced machine (4×4×4) when iterating.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def get_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+def md_shape() -> tuple[int, int, int]:
+    """Machine shape for the MD benchmarks (paper: 8×8×8 = 512 nodes)."""
+    return (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
+
+
+def md_atoms() -> int:
+    from repro.constants import DHFR_ATOMS
+
+    return DHFR_ATOMS // 8 if get_scale() == "quick" else DHFR_ATOMS
+
+
+@pytest.fixture
+def publish(request):
+    """Print a regenerated artifact and persist it under results/."""
+
+    def _publish(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _publish
+
+
+def once(benchmark, fn):
+    """Run a heavy harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

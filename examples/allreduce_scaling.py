@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Global all-reduce on the torus: algorithms and scaling (§IV.B.4).
+
+Shows the dimension-ordered collective against a radix-2 butterfly on
+machines from 8 to 512 nodes, and against the InfiniBand-cluster
+baseline — the paper's ~20× gap.
+
+Run:  python examples/allreduce_scaling.py
+"""
+
+from repro import Simulator, build_machine
+from repro.baselines import ClusterNetwork, MpiContext
+from repro.comm.collectives import (
+    AllReduce,
+    ButterflyAllReduce,
+    butterfly_hops,
+    dimension_ordered_hops,
+)
+
+SHAPES = [(2, 2, 2), (4, 4, 4), (8, 8, 8)]
+
+
+def main() -> None:
+    print(f"{'machine':>10} {'nodes':>6} {'dim-ordered':>12} "
+          f"{'butterfly':>10} {'IB cluster':>11}   hops (do/bfly)")
+    for shape in SHAPES:
+        nodes = shape[0] * shape[1] * shape[2]
+        sim = Simulator()
+        t_do = AllReduce(build_machine(sim, *shape), payload_bytes=32).run()
+        sim2 = Simulator()
+        t_bf = ButterflyAllReduce(
+            build_machine(sim2, *shape), payload_bytes=32
+        ).run()
+        sim3 = Simulator()
+        t_ib = MpiContext(ClusterNetwork(sim3, nodes)).allreduce_ns(32) / 1000
+        print(
+            f"{'x'.join(map(str, shape)):>10} {nodes:>6} "
+            f"{t_do.elapsed_us:>10.2f}µs {t_bf.elapsed_us:>8.2f}µs "
+            f"{t_ib:>9.2f}µs   {dimension_ordered_hops(shape)}/{butterfly_hops(shape)}"
+        )
+        assert t_do.value == t_bf.value == nodes * (nodes - 1) / 2
+    print("\nPaper: 1.77 µs on 512 Anton nodes vs 35.5 µs on a 512-node "
+          "InfiniBand cluster (20x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Atom migration and the in-order flush protocol (§IV.B.5, Fig. 12).
+
+Demonstrates the migration protocol directly — FIFO messages plus an
+in-order multicast flush, shown to be robust even when the network
+reorders unflagged packets — and the cost trade-off of migrating every
+N steps with relaxed home-box boundaries.
+
+Run:  python examples/migration_tuning.py
+"""
+
+import numpy as np
+
+from repro import MigrationProtocol, Simulator, build_machine
+
+
+def protocol_demo() -> None:
+    print("=== Migration protocol on a 4x4x4 machine ===")
+    sim = Simulator()
+    # Turn on reorder jitter: unflagged packets may overtake each other,
+    # but the protocol's in-order flag keeps the flush behind the data.
+    machine = build_machine(sim, 4, 4, 4, reorder_jitter_ns=300.0, seed=7)
+    mig = MigrationProtocol(machine)
+
+    empty = mig.run()
+    print(f"empty migration (pure synchronization): {empty.elapsed_us:.2f} µs "
+          "(paper: 0.56 µs on 512 nodes)")
+
+    torus = machine.torus
+    rng = np.random.default_rng(0)
+    moves = {}
+    for c in torus.nodes():
+        neigh = torus.moore_neighbors(c)
+        k = int(rng.integers(0, 4))
+        moves[c] = [(neigh[int(rng.integers(0, len(neigh)))], f"atom-{c}-{i}")
+                    for i in range(k)]
+    busy = mig.run(moves, scan_atoms={c: 46 for c in torus.nodes()})
+    print(f"migrating {busy.messages_sent} atoms under reordering jitter: "
+          f"{busy.elapsed_us:.2f} µs, no message lost "
+          f"({busy.messages_received} received)")
+
+
+def interval_tradeoff() -> None:
+    print("\n=== Amortising migration over N steps (Fig. 12's idea) ===")
+    sim = Simulator()
+    machine = build_machine(sim, 4, 4, 4)
+    mig = MigrationProtocol(machine)
+    scan = {c: 46 for c in machine.torus.nodes()}
+    cost = mig.run(scan_atoms=scan).elapsed_us
+    print(f"one migration phase costs {cost:.2f} µs; amortised per step:")
+    for n in (1, 2, 4, 8):
+        print(f"  every {n} step(s): +{cost / n:.2f} µs/step")
+    print("Relaxed home-box boundaries make the longer intervals safe — "
+          "atoms may sit slightly outside their box between migrations.")
+
+
+if __name__ == "__main__":
+    protocol_demo()
+    interval_tradeoff()

@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Quick access to the headline measurements without writing a script:
+
+* ``latency``   — Fig. 5: one-way latency vs hops
+* ``breakdown`` — Fig. 6: the 162 ns component breakdown
+* ``allreduce`` — Table 2 rows (pass shapes like ``4x4x4``)
+* ``survey``    — Table 1 with the simulated Anton row
+* ``transfer``  — Fig. 7: the 2 KB message-granularity experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    try:
+        x, y, z = (int(p) for p in text.lower().split("x"))
+        return (x, y, z)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shape must look like 8x8x8, got {text!r}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the Anton SC10 communication paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lat = sub.add_parser("latency", help="Fig. 5: latency vs hops")
+    p_lat.add_argument("--shape", type=_parse_shape, default=(8, 8, 8))
+
+    sub.add_parser("breakdown", help="Fig. 6: the 162 ns breakdown")
+    sub.add_parser("survey", help="Table 1 with the simulated Anton row")
+    sub.add_parser("transfer", help="Fig. 7: 2 KB in 1-64 messages")
+
+    p_ar = sub.add_parser("allreduce", help="Table 2 all-reduce rows")
+    p_ar.add_argument(
+        "shapes", nargs="*", type=_parse_shape, default=[(4, 4, 4), (8, 8, 8)]
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "latency":
+        from repro.analysis import latency_vs_hops, render_series
+
+        pts = latency_vs_hops(shape=args.shape)
+        print(render_series(
+            f"One-way latency (ns) vs hops on {args.shape}",
+            "hops", [p.hops for p in pts],
+            {
+                "0B": [p.uni_0b for p in pts],
+                "256B": [p.uni_256b for p in pts],
+            },
+        ))
+    elif args.command == "breakdown":
+        from repro.analysis import breakdown_162ns, render_table
+
+        parts = breakdown_162ns()
+        rows = [[label, ns] for label, ns in parts]
+        rows.append(["TOTAL", sum(ns for _, ns in parts)])
+        print(render_table("The 162 ns write, by component", ["part", "ns"], rows))
+    elif args.command == "survey":
+        from repro.analysis import ping_pong_ns
+        from repro.baselines.survey import survey_table
+
+        measured = ping_pong_ns((8, 8, 8), (1, 0, 0)) / 1000.0
+        print(survey_table(measured_anton_us=measured))
+    elif args.command == "transfer":
+        from repro.analysis import render_series, transfer_split_series
+
+        pts = transfer_split_series()
+        print(render_series(
+            "2 KB transfer time (µs) vs messages",
+            "messages", [p.num_messages for p in pts],
+            {
+                "InfiniBand": [p.infiniband_ns / 1000 for p in pts],
+                "Anton 1 hop": [p.anton_1hop_ns / 1000 for p in pts],
+            },
+            float_format="{:.2f}",
+        ))
+    elif args.command == "allreduce":
+        from repro.analysis import measure_allreduce, render_table
+
+        rows = []
+        for shape in args.shapes:
+            p = measure_allreduce(shape)
+            rows.append([f"{p.nodes} ({shape[0]}x{shape[1]}x{shape[2]})",
+                         p.reduce0_us, p.reduce32_us])
+        print(render_table(
+            "Global all-reduce (µs)", ["nodes", "0B", "32B"], rows
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Measurement harnesses that regenerate the paper's figures and tables.
+
+Each module drives the simulated machine through the same experiment
+the paper ran and returns structured results:
+
+* :mod:`repro.analysis.latency` — ping-pong latency vs hop count and
+  the single-hop component breakdown (Figs. 5 & 6, Table 1);
+* :mod:`repro.analysis.transfer` — the 2 KB transfer split into 1–64
+  messages (Fig. 7) and bandwidth-efficiency vs message size (§III.D);
+* :mod:`repro.analysis.reduction` — all-reduce latencies (Table 2) and
+  the algorithm comparisons of §IV.B.4;
+* :mod:`repro.analysis.report` — plain-text table/series rendering
+  shared by the benchmark scripts.
+"""
+
+from repro.analysis.latency import (
+    breakdown_162ns,
+    latency_vs_hops,
+    ping_pong_ns,
+)
+from repro.analysis.reduction import (
+    ReductionPoint,
+    butterfly_vs_dimension_ordered,
+    measure_allreduce,
+    table2_series,
+)
+from repro.analysis.report import render_series, render_table
+from repro.analysis.transfer import (
+    anton_transfer_ns,
+    bandwidth_efficiency,
+    transfer_split_series,
+)
+
+__all__ = [
+    "anton_transfer_ns",
+    "bandwidth_efficiency",
+    "breakdown_162ns",
+    "latency_vs_hops",
+    "ping_pong_ns",
+    "ReductionPoint",
+    "butterfly_vs_dimension_ordered",
+    "measure_allreduce",
+    "table2_series",
+    "render_series",
+    "render_table",
+    "transfer_split_series",
+]

@@ -1,0 +1,50 @@
+"""Plain-text rendering of result tables and series.
+
+Every benchmark prints its regenerated table/figure through these
+helpers so that EXPERIMENTS.md, the bench output, and the tests all
+show the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Fixed-width table with a title rule."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return float_format.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    float_format: str = "{:.1f}",
+) -> str:
+    """A figure rendered as columns: x then one column per curve."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(s[i] for s in series.values())])
+    return render_table(title, headers, rows, float_format=float_format)

@@ -1,0 +1,122 @@
+"""The hardware-managed message FIFO (§III.C).
+
+Each processing slice contains a circular FIFO within its local memory
+that can receive arbitrary network messages — the escape hatch for
+communication that cannot be formulated as counted remote writes
+(migration is the one large consumer, §IV.B.5).  The Tensilica core
+polls the tail pointer to detect new messages and advances the head
+pointer as messages are consumed.  If the FIFO fills, backpressure is
+exerted into the network; software must keep draining to avoid
+deadlock.
+
+The model keeps an explicit ring of ``capacity`` entries.  When a packet
+arrives at a full FIFO it is parked on a network-side overflow queue and
+a backpressure stall is recorded; parked packets enter the ring as
+space frees.  (We account the stall rather than propagating it link by
+link — the paper's software is engineered so the FIFO never fills in
+steady state, and the tests assert our workloads keep it that way.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.engine.event import Event
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+DEFAULT_FIFO_CAPACITY = 64
+
+
+class MessageFifo:
+    """Circular message FIFO with tail-pointer polling semantics."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: int = DEFAULT_FIFO_CAPACITY,
+        name: str = "",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._ring: deque[Packet] = deque()
+        self._overflow: deque[Packet] = deque()
+        self._waiters: deque[Event] = deque()
+        self.total_received = 0
+        self.total_consumed = 0
+        self.backpressure_stalls = 0
+        self.high_watermark = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Messages currently between head and tail pointers."""
+        return len(self._ring)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._ring) >= self.capacity
+
+    # -- network side -------------------------------------------------------
+    def push(self, packet: Packet) -> None:
+        """A message packet arrives from the network."""
+        self.total_received += 1
+        if self._waiters:
+            # A poller is already blocked on the tail pointer: hand over.
+            self.total_consumed += 1
+            self._waiters.popleft().succeed(packet)
+            return
+        if self.is_full:
+            self.backpressure_stalls += 1
+            self._overflow.append(packet)
+            return
+        self._ring.append(packet)
+        self.high_watermark = max(self.high_watermark, len(self._ring))
+
+    # -- software side --------------------------------------------------------
+    def poll(self) -> Event:
+        """Event firing with the next message (tail-pointer poll).
+
+        The polling core charges its own ``FIFO_POLL_NS`` on success
+        and ``FIFO_PROCESS_NS`` per message; this method only models
+        availability.
+        """
+        ev = Event(self.sim, name=f"fifo-poll({self.name})")
+        pkt = self.try_poll()
+        if pkt is not None:
+            ev.succeed(pkt)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending :meth:`poll` waiter.
+
+        Needed when software stops waiting on the FIFO for another
+        reason (e.g. the migration flush counter fired); an abandoned
+        waiter would silently swallow the next message.
+        """
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            pass
+
+    def try_poll(self) -> Optional[Packet]:
+        """Non-blocking poll: next message or ``None`` if empty."""
+        if not self._ring:
+            return None
+        pkt = self._ring.popleft()
+        self.total_consumed += 1
+        # Head advanced: admit one parked packet, if any.
+        if self._overflow:
+            self._ring.append(self._overflow.popleft())
+            self.high_watermark = max(self.high_watermark, len(self._ring))
+        return pkt
+
+    def __len__(self) -> int:
+        return len(self._ring) + len(self._overflow)

@@ -1,0 +1,98 @@
+"""Synchronization counters (§III.B).
+
+Every network client contains a set of synchronization counters.  Write
+and accumulation packets are labelled with a counter identifier; once
+the receiver's memory has been updated with the packet's payload, the
+selected counter is incremented.  Clients poll these counters to
+determine when all data required for a computation has arrived — the
+basis of the *counted remote write* paradigm.
+
+The model represents a counter as a monotonically increasing integer
+with threshold events: ``wait_for(n)`` returns an event that fires the
+instant the count reaches ``n``.  The *poll cost* (42 ns for a local
+slice poll, larger for accumulation-memory counters polled across the
+on-chip ring) is charged by the polling client, not here, because it
+depends on who is polling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.engine.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+
+class SyncCounter:
+    """One hardware synchronization counter."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._count = 0
+        self._epoch = 0
+        self._waiters: dict[int, Event] = {}
+        self.total_increments = 0
+
+    @property
+    def count(self) -> int:
+        """Current value."""
+        return self._count
+
+    @property
+    def epoch(self) -> int:
+        """Number of times the counter has been reset (for reuse checks)."""
+        return self._epoch
+
+    def increment(self, n: int = 1) -> None:
+        """Add ``n`` arriving packets' worth of count."""
+        if n < 1:
+            raise ValueError(f"increment must be >= 1, got {n}")
+        self._count += n
+        self.total_increments += n
+        # Fire every threshold now satisfied.  Iterate over a snapshot:
+        # firing may synchronously register new waiters.
+        ready = [t for t in self._waiters if t <= self._count]
+        for t in sorted(ready):
+            self._waiters.pop(t).succeed(self.sim.now)
+
+    def wait_for(self, target: int) -> Event:
+        """Event firing when the count reaches ``target``.
+
+        Multiple waiters on the same target share one event.  A target
+        already reached yields an already-triggered event (the caller's
+        poll cost still applies on top).
+        """
+        if target < 0:
+            raise ValueError(f"target must be >= 0, got {target}")
+        if self._count >= target:
+            ev = Event(self.sim)
+            ev.succeed(self.sim.now)
+            return ev
+        ev = self._waiters.get(target)
+        if ev is None:
+            ev = Event(self.sim)
+            self._waiters[target] = ev
+        return ev
+
+    def reset(self) -> None:
+        """Zero the counter for the next communication phase.
+
+        Counters are reset between time-step phases once their expected
+        packet count has been consumed.  Resetting with waiters still
+        pending indicates a software bug (a phase ended while someone
+        still expected packets), so it raises.
+        """
+        if self._waiters:
+            pending = sorted(self._waiters)
+            raise RuntimeError(
+                f"reset of counter {self.name!r} with waiters pending at "
+                f"thresholds {pending} (count={self._count})"
+            )
+        self._count = 0
+        self._epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SyncCounter {self.name!r} count={self._count}>"

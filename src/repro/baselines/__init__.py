@@ -1,0 +1,30 @@
+"""Commodity-cluster baselines used by the paper's comparisons.
+
+* :mod:`repro.baselines.cluster` — a DES model of a commodity cluster
+  interconnect (DDR2 InfiniBand parameters): per-message sender and
+  receiver CPU overheads, NIC injection gap, base latency, bandwidth.
+* :mod:`repro.baselines.mpi` — MPI-style point-to-point and collective
+  operations on that model (recursive-doubling all-reduce).
+* :mod:`repro.baselines.desmond` — a Desmond-style MD communication
+  schedule (staged 6-message neighbour exchange, distributed FFT,
+  thermostat all-reduce) on the cluster model, regenerating the
+  Desmond column of Table 3.
+* :mod:`repro.baselines.survey` — the published latency survey of
+  Table 1.
+"""
+
+from repro.baselines.cluster import ClusterNetwork, ClusterNode
+from repro.baselines.desmond import DesmondModel, DesmondStepTiming
+from repro.baselines.mpi import MpiContext
+from repro.baselines.survey import SURVEY, SurveyEntry, survey_table
+
+__all__ = [
+    "ClusterNetwork",
+    "ClusterNode",
+    "DesmondModel",
+    "DesmondStepTiming",
+    "MpiContext",
+    "SURVEY",
+    "SurveyEntry",
+    "survey_table",
+]

@@ -1,0 +1,112 @@
+"""MPI-style operations on the cluster model.
+
+Provides the small set of operations the paper's comparisons need:
+ping-pong latency, multi-message transfers (Fig. 7), and a
+recursive-doubling all-reduce (§IV.B.4's 512-node InfiniBand cluster
+measurement of 35.5 µs for a 32-byte reduction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.baselines.cluster import ClusterNetwork
+from repro.engine.event import Event
+from repro.engine.simulator import Simulator
+
+
+class MpiContext:
+    """Collective and point-to-point helpers over a ClusterNetwork."""
+
+    def __init__(self, network: ClusterNetwork) -> None:
+        self.network = network
+        self.sim = network.sim
+        self._op_seq = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.network)
+
+    # -- point to point measurements -------------------------------------------
+    def ping_pong_ns(self, nbytes: int = 0, src: int = 0, dst: int = 1) -> float:
+        """Half-round-trip (one-way) software-to-software latency."""
+        t: dict[str, float] = {}
+        tag = self._tag("pp")
+
+        def pinger():
+            yield from self.network.send(src, dst, nbytes, tag + "-ping")
+            yield self.network.recv(src, tag + "-pong", 1)
+            t["rtt"] = self.sim.now - t["start"]
+
+        def ponger():
+            yield self.network.recv(dst, tag + "-ping", 1)
+            yield from self.network.send(dst, src, nbytes, tag + "-pong")
+
+        t["start"] = self.sim.now
+        p1 = self.sim.process(pinger())
+        p2 = self.sim.process(ponger())
+        self.sim.run(until=self.sim.all_of([p1, p2]))
+        return t["rtt"] / 2.0
+
+    def transfer_ns(self, total_bytes: int, num_messages: int,
+                    src: int = 0, dst: int = 1) -> float:
+        """Time to move ``total_bytes`` as ``num_messages`` messages.
+
+        Measures from the first send until the receiver has processed
+        the last message — the Fig. 7 experiment.
+        """
+        if num_messages < 1:
+            raise ValueError("num_messages must be >= 1")
+        tag = self._tag("xfer")
+        sizes = _split_bytes(total_bytes, num_messages)
+        start = self.sim.now
+
+        def sender():
+            for sz in sizes:
+                yield from self.network.send(src, dst, sz, tag)
+
+        done = self.network.recv(dst, tag, num_messages)
+        self.sim.process(sender())
+        self.sim.run(until=done)
+        return self.sim.now - start
+
+    # -- collectives ---------------------------------------------------------------
+    def allreduce_ns(self, nbytes: int = 32, compute_ns_per_round: float = 100.0) -> float:
+        """Recursive-doubling all-reduce across all nodes.
+
+        Requires a power-of-two node count.  Every round, node *r*
+        exchanges its partial with ``r ^ 2**k`` and reduces locally.
+        Returns the completion time of the slowest node.
+        """
+        n = self.size
+        if n & (n - 1):
+            raise ValueError(f"recursive doubling needs power-of-two nodes, got {n}")
+        rounds = int(math.log2(n))
+        tag = self._tag("ar")
+        done_at: dict[int, float] = {}
+        start = self.sim.now
+
+        def node_proc(rank: int):
+            for k in range(rounds):
+                partner = rank ^ (1 << k)
+                rtag = f"{tag}-r{k}"
+                yield from self.network.send(rank, partner, nbytes, rtag)
+                yield self.network.recv(rank, rtag, 1)
+                yield self.sim.timeout(compute_ns_per_round)
+            done_at[rank] = self.sim.now
+
+        procs = [self.sim.process(node_proc(r)) for r in range(n)]
+        self.sim.run(until=self.sim.all_of(procs))
+        return max(done_at.values()) - start
+
+    def _tag(self, prefix: str) -> str:
+        self._op_seq += 1
+        return f"{prefix}{self._op_seq}"
+
+
+def _split_bytes(total: int, parts: int) -> list[int]:
+    """Split ``total`` bytes into ``parts`` near-equal message sizes."""
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]

@@ -1,0 +1,65 @@
+"""The published latency survey of Table 1.
+
+Inter-node software-to-software (ping-pong) latency measurements across
+scalable networks, as collected by the paper.  The survey excludes
+intra-node communication and one-sided writes whose measurements omit
+the receiver's detection cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One row of Table 1."""
+
+    machine: str
+    latency_us: float
+    reference: str
+    year: int
+
+
+#: Table 1, in the paper's order (Anton first, then ascending latency).
+SURVEY: tuple[SurveyEntry, ...] = (
+    SurveyEntry("Anton", 0.16, "this paper", 2009),
+    SurveyEntry("Altix 3700 BX2", 1.25, "[18]", 2006),
+    SurveyEntry("QsNetII", 1.28, "[8]", 2005),
+    SurveyEntry("Columbia", 1.6, "[10]", 2005),
+    SurveyEntry("Sun Fire", 1.7, "[42]", 2002),
+    SurveyEntry("EV7", 1.7, "[26]", 2002),
+    SurveyEntry("J-Machine", 1.8, "[32]", 1993),
+    SurveyEntry("QsNET", 1.9, "[33]", 2001),
+    SurveyEntry("Roadrunner (InfiniBand)", 2.16, "[7]", 2008),
+    SurveyEntry("Cray T3E", 2.75, "[37]", 1996),
+    SurveyEntry("Blue Gene/P", 2.75, "[3]", 2008),
+    SurveyEntry("Blue Gene/L", 2.8, "[25]", 2005),
+    SurveyEntry("ASC Purple", 4.4, "[25]", 2005),
+    SurveyEntry("Cray XT4", 4.5, "[2]", 2007),
+    SurveyEntry("Red Storm", 6.9, "[25]", 2005),
+    SurveyEntry("SR8000", 9.9, "[45]", 2001),
+)
+
+
+def survey_table(measured_anton_us: float | None = None) -> str:
+    """Format Table 1, optionally replacing Anton's row with the value
+    measured on the simulated machine (the Table 1 bench does this to
+    show paper vs model side by side)."""
+    lines = [f"{'Machine':<26} {'Latency (µs)':>12}  {'Ref.':<12} {'Date':>5}"]
+    lines.append("-" * len(lines[0]))
+    for e in SURVEY:
+        latency = e.latency_us
+        label = e.machine
+        if e.machine == "Anton" and measured_anton_us is not None:
+            latency = measured_anton_us
+            label = "Anton (simulated)"
+        lines.append(f"{label:<26} {latency:>12.2f}  {e.reference:<12} {e.year:>5}")
+    return "\n".join(lines)
+
+
+def anton_advantage() -> float:
+    """Ratio of the best non-Anton latency to Anton's (≈ 7.8×)."""
+    non_anton = min(e.latency_us for e in SURVEY if e.machine != "Anton")
+    anton = next(e.latency_us for e in SURVEY if e.machine == "Anton")
+    return non_anton / anton

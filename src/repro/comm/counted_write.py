@@ -1,0 +1,163 @@
+"""The counted-remote-write gather abstraction (§III.B, Fig. 4).
+
+When one or more network clients must send a predetermined number of
+related packets to a single target client, space for these packets is
+pre-allocated within the target's local memory.  The sources write
+their data directly to the target memory, labelling all write packets
+with the same synchronization-counter identifier; the target polls the
+counter to learn when everything has arrived.  The operation is
+logically a gather (a set of remote reads) but requires no explicit
+synchronization between sources and target.
+
+:class:`CountedGather` packages the bookkeeping the MD software layers
+repeat constantly: buffer allocation, per-source slot assignment, the
+expected-count contract, and the send/poll helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
+
+from repro.asic.client import NetworkClient
+from repro.asic.slice_ import ProcessingSlice
+from repro.engine.event import Event
+from repro.topology.torus import NodeCoord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class GatherSource:
+    """One source's contribution to a counted gather."""
+
+    node: NodeCoord
+    client: str
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.packets < 1:
+            raise ValueError(f"a source must contribute >= 1 packet, got {self.packets}")
+
+
+class CountedGather:
+    """A fixed counted-remote-write gather into one target client.
+
+    Parameters
+    ----------
+    target:
+        The receiving client; a buffer named ``name`` with one slot per
+        expected packet is pre-allocated in its local memory.
+    name:
+        Buffer and counter identifier, agreed by all parties.
+    sources:
+        The fixed set of contributing sources with their fixed packet
+        counts (§IV.A: both the pattern and the number of packets are
+        fixed before communication starts).
+    """
+
+    def __init__(
+        self,
+        target: NetworkClient,
+        name: str,
+        sources: Sequence[GatherSource],
+    ) -> None:
+        if not sources:
+            raise ValueError("a gather needs at least one source")
+        self.target = target
+        self.name = name
+        self.sources = tuple(sources)
+        self.expected = sum(s.packets for s in self.sources)
+        self.buffer = target.memory.allocate(name, self.expected)
+        # Deterministic slot layout: sources own contiguous slot ranges
+        # in declaration order, so every sender can compute its target
+        # addresses with no coordination at run time.
+        self._slot_base: dict[tuple[NodeCoord, str], int] = {}
+        base = 0
+        for s in self.sources:
+            key = (s.node, s.client)
+            if key in self._slot_base:
+                raise ValueError(f"duplicate source {key} in gather {name!r}")
+            self._slot_base[key] = base
+            base += s.packets
+        self._completions = 0
+
+    # -- sender side -------------------------------------------------------
+    def slot(self, source_node: "NodeCoord | int", source_client: str, index: int) -> int:
+        """The pre-agreed buffer slot for a source's ``index``-th packet."""
+        node = self.target.network.torus.coord(source_node)
+        base = self._slot_base.get((node, source_client))
+        if base is None:
+            raise KeyError(f"{node}:{source_client} is not a source of gather {self.name!r}")
+        packets = next(
+            s.packets for s in self.sources if (s.node, s.client) == (node, source_client)
+        )
+        if not 0 <= index < packets:
+            raise IndexError(
+                f"source {node}:{source_client} declared {packets} packets; "
+                f"index {index} out of range"
+            )
+        return base + index
+
+    def send_from(
+        self,
+        sender: ProcessingSlice,
+        payloads: Sequence[Any],
+        payload_bytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """Send this source's packets back to back.  ``yield from`` this.
+
+        ``payloads`` must match the source's declared packet count —
+        the fixed-count contract is enforced, because violating it
+        would hang the receiver's poll forever on real hardware.
+        """
+        declared = next(
+            (
+                s.packets
+                for s in self.sources
+                if (s.node, s.client) == (sender.node, sender.name)
+            ),
+            None,
+        )
+        if declared is None:
+            raise KeyError(f"{sender.node}:{sender.name} is not a source of {self.name!r}")
+        if len(payloads) != declared:
+            raise ValueError(
+                f"source {sender.node}:{sender.name} declared {declared} packets "
+                f"for gather {self.name!r} but is sending {len(payloads)}"
+            )
+        for i, payload in enumerate(payloads):
+            slot = self.slot(sender.node, sender.name, i)
+            yield from sender.send_write(
+                self.target.node,
+                self.target.name,
+                counter_id=self.name,
+                address=(self.name, slot),
+                payload=payload,
+                payload_bytes=payload_bytes,
+            )
+
+    # -- receiver side --------------------------------------------------------
+    def complete(self) -> Event:
+        """Event firing when all expected packets have arrived
+        (poll cost not included; see :meth:`ProcessingSlice.poll`)."""
+        return self.target.counter(self.name).wait_for(self.expected)
+
+    def wait(self, poller: ProcessingSlice) -> Generator[Event, Any, float]:
+        """Receiver-side wait: poll until the expected count, pay the
+        poll cost, and return the completion time."""
+        if poller is self.target:
+            return (yield from poller.poll(self.name, self.expected))
+        # Accumulation-memory counters are polled by a slice on the
+        # same node across the on-chip ring.
+        return (yield from poller.poll_accum(self.target, self.name, self.expected))
+
+    def gathered(self) -> list[Any]:
+        """All written payloads in slot order (post-completion helper)."""
+        return self.buffer.filled()
+
+    def reset(self) -> None:
+        """Reuse the gather for the next phase: clear slots + counter."""
+        self.buffer.clear()
+        self.target.counter(self.name).reset()

@@ -1,0 +1,152 @@
+"""Fixed communication-pattern descriptors (§IV.A).
+
+Anton's software relies almost entirely on a choreographed data flow in
+which a sender pushes data directly to its destination: receive-side
+storage is pre-allocated before a simulation begins, packet counts are
+fixed, and patterns change only at rare, well-defined points (bond
+program regeneration, mesh repartitioning).
+
+:class:`PatternRegistry` is the bookkeeping object the MD layer uses to
+establish all patterns up front and to assert, at run time, that no
+communication happens outside a registered pattern — the property that
+makes counted remote writes usable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.comm.counted_write import CountedGather, GatherSource
+from repro.network.multicast import MulticastPattern, compile_pattern
+from repro.topology.torus import NodeCoord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.asic.client import NetworkClient
+    from repro.network.network import Network
+
+
+@dataclass
+class CommPattern:
+    """One named fixed pattern: a gather, a multicast, or both.
+
+    Attributes
+    ----------
+    name:
+        Unique pattern name (doubles as counter/buffer identifier).
+    gather:
+        The counted gather at the receiving end, if the pattern
+        delivers into a single client.
+    multicast:
+        The compiled multicast tree, if the pattern fans out from a
+        single sender.
+    generation:
+        Incremented when the pattern is re-established (e.g. bond
+        program regeneration, §IV.B.2); senders embed the generation in
+        sanity checks so a stale sender is caught immediately.
+    """
+
+    name: str
+    gather: Optional[CountedGather] = None
+    multicast: Optional[MulticastPattern] = None
+    generation: int = 0
+
+
+class PatternRegistry:
+    """All fixed patterns of one application, established up front."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self._patterns: dict[str, CommPattern] = {}
+        self._frozen = False
+
+    def register_gather(
+        self,
+        name: str,
+        target: "NetworkClient",
+        sources: Iterable[GatherSource],
+    ) -> CommPattern:
+        """Establish a counted gather pattern."""
+        self._check_open(name)
+        pattern = CommPattern(name=name, gather=CountedGather(target, name, list(sources)))
+        self._patterns[name] = pattern
+        return pattern
+
+    def register_multicast(
+        self,
+        name: str,
+        source: "NodeCoord | int",
+        destinations: dict,
+    ) -> CommPattern:
+        """Compile and program a multicast pattern."""
+        self._check_open(name)
+        tree = compile_pattern(self.network.torus, source, destinations)
+        self.network.register_pattern(tree)
+        pattern = CommPattern(name=name, multicast=tree)
+        self._patterns[name] = pattern
+        return pattern
+
+    def freeze(self) -> None:
+        """Mark setup complete: no new patterns until :meth:`reopen`.
+
+        Mirrors the machine's operating discipline — patterns are
+        programmed before the simulation starts and stay fixed through
+        the run (§IV.A).
+        """
+        self._frozen = True
+
+    def reopen(self) -> None:
+        """Allow re-establishing patterns (bond program regeneration).
+
+        Every existing pattern's generation is bumped so stale senders
+        can be detected.
+        """
+        self._frozen = False
+        for p in self._patterns.values():
+            p.generation += 1
+
+    def get(self, name: str) -> CommPattern:
+        try:
+            return self._patterns[name]
+        except KeyError:
+            raise KeyError(
+                f"communication pattern {name!r} was never established; "
+                "fixed patterns must be registered before use (§IV.A)"
+            ) from None
+
+    def replace_gather(
+        self,
+        name: str,
+        target: "NetworkClient",
+        sources: Iterable[GatherSource],
+        buffer_suffix: str,
+    ) -> CommPattern:
+        """Re-establish a gather under the same logical name.
+
+        Because receive buffers are pre-allocated and never freed, the
+        new gather uses a distinct buffer/counter name
+        (``name + buffer_suffix``); callers address the pattern by its
+        logical name and always reach the current generation.
+        """
+        if self._frozen:
+            raise RuntimeError("registry is frozen; call reopen() first")
+        old = self.get(name)
+        gather = CountedGather(target, name + buffer_suffix, list(sources))
+        pattern = CommPattern(name=name, gather=gather, generation=old.generation + 1)
+        self._patterns[name] = pattern
+        return pattern
+
+    def names(self) -> list[str]:
+        return sorted(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def _check_open(self, name: str) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                f"cannot register pattern {name!r}: registry is frozen "
+                "(patterns are fixed before the simulation begins, §IV.A)"
+            )
+        if name in self._patterns:
+            raise ValueError(f"pattern {name!r} already registered")

@@ -1,0 +1,232 @@
+"""Calibrated hardware constants for the Anton communication model.
+
+Every number in this module is taken from, or derived from, the paper
+"Exploiting 162-Nanosecond End-to-End Communication Latency on Anton"
+(SC 2010).  The derivations are documented inline; DESIGN.md §3 collects
+the sources.
+
+Units: times in **nanoseconds**, bandwidths in **Gbit/s**, sizes in
+**bytes**, unless a suffix says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Figure 6: single X-hop latency breakdown (0-byte counted remote write)
+# ---------------------------------------------------------------------------
+
+#: Packet assembly + injection at a processing slice ("Write packet send
+#: initiated in processing slice" to entry into the on-chip ring).
+SLICE_SEND_NS = 36.0
+
+#: Source-side on-chip ring traversal: 2 router hops.
+SRC_RING_NS = 19.0
+
+#: One link-adapter crossing.  The paper folds the passive-wire delay
+#: into the adapter figure, so this is 20 ns per side for the X
+#: dimension including up to 4 ns of wire.
+LINK_ADAPTER_NS = 20.0
+
+#: Destination-side on-chip ring traversal: 3 router hops.
+DST_RING_NS = 25.0
+
+#: Cost of the *successful* poll of a processing-slice synchronization
+#: counter (local poll, very low latency).
+POLL_SUCCESS_NS = 42.0
+
+#: End-to-end latency of a 0-byte write crossing one X link:
+#: 36 + 19 + 20 + 20 + 25 + 42 = 162 ns (the paper's headline number).
+ONE_HOP_X_NS = (
+    SLICE_SEND_NS
+    + SRC_RING_NS
+    + 2 * LINK_ADAPTER_NS
+    + DST_RING_NS
+    + POLL_SUCCESS_NS
+)
+
+#: Intra-node (0-hop) latency: slice -> on-chip ring -> slice on the
+#: same ASIC.  No link adapters are crossed; we charge the source-side
+#: ring traversal only (the message is delivered on the way around).
+ZERO_HOP_NS = SLICE_SEND_NS + SRC_RING_NS + POLL_SUCCESS_NS  # = 97 ns
+
+# ---------------------------------------------------------------------------
+# Figure 5: per-hop marginal costs and wire delays
+# ---------------------------------------------------------------------------
+
+#: Maximum passive-wire delays per dimension (Fig. 6 caption).  X wires
+#: are shortest (neighbouring boards), Z longest.
+WIRE_NS = {"x": 4.0, "y": 8.0, "z": 10.0}
+
+#: Marginal cost of one additional network hop, per dimension (slopes
+#: of Fig. 5).  X hops traverse more on-chip routers per transit node
+#: than Y or Z hops, hence the higher cost.
+HOP_NS = {"x": 76.0, "y": 54.0, "z": 54.0}
+
+#: Link crossing cost per dimension: two adapter crossings with the
+#: dimension's extra wire delay relative to X (whose wire is already
+#: folded into LINK_ADAPTER_NS).
+LINK_COST_NS = {
+    "x": 2 * LINK_ADAPTER_NS,                                  # 40 ns
+    "y": 2 * LINK_ADAPTER_NS + (WIRE_NS["y"] - WIRE_NS["x"]),  # 44 ns
+    "z": 2 * LINK_ADAPTER_NS + (WIRE_NS["z"] - WIRE_NS["x"]),  # 46 ns
+}
+
+#: On-chip ring crossing cost at a *transit* node, per outgoing
+#: dimension, derived so that LINK_COST + THROUGH_RING equals the
+#: Fig. 5 marginal hop cost.  X adapters sit far apart on the six-router
+#: ring (≈4 router hops); Y/Z adapters are adjacent (≈1 hop).
+THROUGH_RING_NS = {d: HOP_NS[d] - LINK_COST_NS[d] for d in ("x", "y", "z")}
+
+# ---------------------------------------------------------------------------
+# Packets and bandwidth (§III.A, §III.D)
+# ---------------------------------------------------------------------------
+
+#: Packet header size.  Writes of up to 8 bytes carry the data in the
+#: header itself ("payload-in-header").
+HEADER_BYTES = 32
+MAX_PAYLOAD_BYTES = 256
+INLINE_PAYLOAD_BYTES = 8
+
+#: Raw signalling rate of one torus link, per direction.
+TORUS_LINK_RAW_GBPS = 50.6
+
+#: Effective data bandwidth of one torus link, per direction.  The
+#: serialization model charges (header + payload) bytes at this rate;
+#: with that model a 28-byte payload achieves ~50% of the bandwidth a
+#: 256-byte payload achieves, matching §III.D.
+TORUS_LINK_EFFECTIVE_GBPS = 36.8
+
+#: On-chip ring bandwidth (Fig. 6 annotation).
+ONCHIP_RING_GBPS = 124.2
+
+#: Accumulation-memory synchronization counters are polled by a
+#: processing slice *across the on-chip ring* (§III.B).  A remote poll
+#: is a request/response transaction — two ring round-trips' worth of
+#: traversals plus the poll issue itself, and in practice at least one
+#: unsuccessful attempt precedes the successful one:
+#: 2×(19+19) + 42 + 42 ≈ 160 ns.  (Modelling choice; the paper gives no
+#: number, only that the overhead is "much larger" than a local poll —
+#: large enough that Anton sums reduction rounds in slice software
+#: instead, §IV.B.4, which the accum-reduce ablation verifies.)
+ACCUM_POLL_NS = 4 * SRC_RING_NS + 2 * POLL_SUCCESS_NS  # = 160 ns
+
+#: Time for a slice to read one 32-byte line from an accumulation
+#: memory across the ring after the counter poll succeeds.
+ACCUM_READ_NS = 2 * SRC_RING_NS + 32 * 8 / ONCHIP_RING_GBPS
+
+# ---------------------------------------------------------------------------
+# Multicast (§III.A)
+# ---------------------------------------------------------------------------
+
+#: Maximum number of precomputed multicast patterns per node.
+MAX_MULTICAST_PATTERNS = 256
+
+#: Table lookup + replication cost when a multicast packet is forwarded
+#: at a node (folded into through-node cost; extra copies are free in
+#: latency but each consumes link serialization on its outgoing link).
+MULTICAST_LOOKUP_NS = 4.0
+
+# ---------------------------------------------------------------------------
+# Synchronization / migration (§IV.B.5)
+# ---------------------------------------------------------------------------
+
+#: Measured cost of the migration flush synchronization: a multicast
+#: counted remote write to all 26 neighbours using the in-order flag.
+MIGRATION_SYNC_NS = 560.0
+
+#: Software cost for the Tensilica core to process one migration
+#: message from the hardware FIFO (dequeue, parse, bookkeeping).
+#: Calibrated so migration-every-step costs ≈2.5 µs more per step than
+#: migration-every-8-steps on the Fig. 12 workload.
+FIFO_PROCESS_NS = 50.0
+
+#: Tail-pointer poll of the hardware message FIFO.
+FIFO_POLL_NS = 42.0
+
+#: Per-atom bookkeeping during a migration phase: every node scans its
+#: resident atoms against the (relaxed) home-box bounds and updates
+#: expected-packet counts for leavers/arrivers — the "additional
+#: bookkeeping requirements" that make migrations "fairly expensive"
+#: (§IV.B.5).  Calibrated so migrating every step costs ≈2 µs more
+#: than migrating every 8 steps on the Fig. 12 workload.
+MIGRATION_SCAN_NS_PER_ATOM = 35.0
+
+#: Software summation rate on a Tensilica core during all-reduce
+#: rounds: per 4-byte word per source (load + add + store at a few
+#: hundred MHz).  The paper notes the sums are done in software in the
+#: processing slices because polling accumulation-memory counters would
+#: cost more (§IV.B.4).
+REDUCE_SUM_NS_PER_WORD = 2.0
+
+# ---------------------------------------------------------------------------
+# Commodity-cluster baseline (Table 1, Fig. 7, §IV.B.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Parameters of a commodity cluster interconnect model.
+
+    The defaults describe the DDR2 InfiniBand cluster used for the
+    paper's comparisons (Fig. 7, Table 3 via Desmond timings).
+    """
+
+    #: End-to-end 0-byte MPI latency between two nodes (half round trip).
+    latency_ns: float = 2160.0  # Roadrunner IB row of Table 1
+    #: Per-message CPU overhead at the sender (marshalling + post).
+    send_overhead_ns: float = 700.0
+    #: Per-message CPU overhead at the receiver (poll + completion).
+    recv_overhead_ns: float = 600.0
+    #: Minimum gap between successive message injections (message rate).
+    inter_message_gap_ns: float = 300.0
+    #: Effective point-to-point data bandwidth, Gbit/s (DDR2 IB 4x).
+    bandwidth_gbps: float = 13.0
+    #: Measured 32-byte all-reduce across 512 nodes (§IV.B.4).
+    allreduce_512_ns: float = 35_500.0
+
+
+DDR2_INFINIBAND = ClusterParams()
+
+# ---------------------------------------------------------------------------
+# Paper-reported machine-level results (used for EXPERIMENTS.md deltas,
+# never fed back into the simulator).
+# ---------------------------------------------------------------------------
+
+#: Table 2 — global all-reduce times (µs) per machine configuration.
+PAPER_TABLE2_US = {
+    (8, 8, 16): {"reduce0": 1.56, "reduce32": 2.06},
+    (8, 8, 8): {"reduce0": 1.32, "reduce32": 1.77},
+    (8, 8, 4): {"reduce0": 1.27, "reduce32": 1.68},
+    (8, 2, 8): {"reduce0": 1.24, "reduce32": 1.64},
+    (4, 4, 4): {"reduce0": 0.96, "reduce32": 1.31},
+}
+
+#: Table 3 — (communication µs, total µs) on a 512-node machine, DHFR.
+PAPER_TABLE3_US = {
+    "average": {"anton": (9.8, 15.6), "desmond": (262.0, 565.0)},
+    "range_limited": {"anton": (5.0, 9.0), "desmond": (108.0, 351.0)},
+    "long_range": {"anton": (14.6, 22.2), "desmond": (416.0, 779.0)},
+    "fft_convolution": {"anton": (7.5, 8.5), "desmond": (230.0, 290.0)},
+    "thermostat": {"anton": (2.6, 3.0), "desmond": (78.0, 99.0)},
+}
+
+#: BlueGene/L 512-node 16-byte tree-network all-reduce (§IV.B.4).
+BGL_TREE_ALLREDUCE_512_NS = 4220.0
+
+# ---------------------------------------------------------------------------
+# MD benchmark systems (Table 3 caption, Fig. 11, Fig. 12)
+# ---------------------------------------------------------------------------
+
+#: Atom count of the DHFR benchmark (dihydrofolate reductase in water).
+DHFR_ATOMS = 23_558
+
+#: Particle count of the Fig. 12 migration benchmark.
+FIG12_PARTICLES = 17_758
+
+#: Long-range interactions + temperature control run every other step.
+LONG_RANGE_INTERVAL = 2
+
+#: Bond-program regeneration interval used in Fig. 11.
+BOND_REGEN_INTERVAL = 120_000

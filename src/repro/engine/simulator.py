@@ -1,0 +1,147 @@
+"""The simulator core: a deterministic event queue and clock.
+
+The simulator maintains a heap of ``(time, sequence, action)`` entries.
+The sequence number breaks ties so that events scheduled at the same
+simulated time always execute in scheduling order, which makes every
+simulation in this package fully reproducible (a requirement for the
+trace-diffing tests and for the paper-reproduction benchmarks).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.engine.event import AllOf, AnyOf, Event, Timeout
+from repro.engine.process import Coroutine, Process
+
+
+class Simulator:
+    """Discrete-event simulator with nanosecond float time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq: int = 0
+        self._crashes: list[tuple[Process, BaseException]] = []
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def _schedule_event(self, delay: float, event: Event) -> None:
+        """Internal: arrange for ``event``'s callbacks to fire after ``delay``."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, self._fire, (event,)))
+
+    def _dispatch(self, event: Event) -> None:
+        """Internal: an event was triggered now; run its callbacks now.
+
+        Callbacks run through the queue (at the current time) so that
+        the triggering code finishes before any waiter resumes.
+        """
+        callbacks = event.callbacks
+        event.callbacks = None
+        if not callbacks:
+            return
+        for cb in callbacks:
+            self._seq += 1
+            heapq.heappush(self._queue, (self.now, self._seq, cb, (event,)))
+
+    def _fire(self, event: Event) -> None:
+        """Internal: deliver a pre-triggered event (Timeout)."""
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    def _record_crash(self, process: Process, error: BaseException) -> None:
+        self._crashes.append((process, error))
+
+    # -- waitable factories ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a pending one-shot event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Coroutine, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first event in ``events``."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue is empty.
+            a float
+                run until simulated time reaches that many ns.
+            an :class:`Event`
+                run until the event triggers; returns its value.
+
+        Raises
+        ------
+        RuntimeError
+            If a process crashed and nothing was waiting on it, the
+            underlying exception is chained and re-raised here so that
+            programming errors inside processes are never silent.
+        """
+        stop_time: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self.now})"
+                )
+
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if stop_time is not None and queue[0][0] > stop_time:
+                self.now = stop_time
+                break
+            when, _, fn, args = pop(queue)
+            self.now = when
+            fn(*args)
+            if stop_event is not None and stop_event.triggered:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event._value  # type: ignore[misc]
+            if self._crashes:
+                self._raise_crash()
+        else:
+            if stop_time is not None:
+                self.now = stop_time
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered (deadlock?)"
+            )
+        return None
+
+    def _raise_crash(self) -> None:
+        proc, err = self._crashes.pop(0)
+        self._crashes.clear()
+        raise RuntimeError(f"unhandled exception in process {proc.name!r}") from err

@@ -1,0 +1,46 @@
+"""Molecular dynamics: the application Anton exists for (§II).
+
+Two halves live here:
+
+**Physics** (pure NumPy, machine-independent): chemical systems,
+force-field kernels (Lennard-Jones + Ewald-split electrostatics),
+cell-list range-limited forces, bonded terms, grid-based long-range
+forces via FFT, and a velocity-Verlet integrator with a Berendsen
+thermostat.  These are real numerics — the physics tests check force
+correctness against direct summation and energy conservation.
+
+**Machine mapping** (the paper's subject): spatial decomposition into
+home boxes, the bond program (static assignment of bonded terms to
+nodes, §IV.B.2), the distributed dimension-ordered FFT communication
+pattern (§IV.B.3), and the time-step orchestrator that maps the MD
+dataflow of Fig. 2 onto the simulated machine with counted remote
+writes, multicast, and the migration protocol.
+"""
+
+from repro.md.bonded import bond_energy_forces
+from repro.md.bondprogram import BondProgram
+from repro.md.decomposition import Decomposition
+from repro.md.forcefield import ForceField
+from repro.md.integrator import Integrator, kinetic_energy, temperature
+from repro.md.longrange import LongRangeSolver
+from repro.md.machine import AntonMD
+from repro.md.rangelimited import CellList, range_limited_forces
+from repro.md.system import ChemicalSystem, bulk_water, synthetic_dhfr, tiny_system
+
+__all__ = [
+    "AntonMD",
+    "BondProgram",
+    "CellList",
+    "ChemicalSystem",
+    "Decomposition",
+    "ForceField",
+    "Integrator",
+    "LongRangeSolver",
+    "bond_energy_forces",
+    "bulk_water",
+    "kinetic_energy",
+    "range_limited_forces",
+    "synthetic_dhfr",
+    "temperature",
+    "tiny_system",
+]

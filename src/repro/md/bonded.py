@@ -1,0 +1,122 @@
+"""Bonded (covalent) force terms.
+
+Harmonic bonds: ``E = k (r − r₀)²`` per bonded pair.  On Anton these
+are evaluated by the geometry cores of the flexible subsystem after the
+bond program has brought the two atom positions together on one node
+(§IV.B.2); here the kernel is a single vectorised pass, and the
+machine model consumes the per-node term counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.md.system import ChemicalSystem
+
+
+def bond_energy_forces(
+    system: ChemicalSystem,
+    subset: Optional[np.ndarray] = None,
+) -> tuple[float, np.ndarray]:
+    """Energy and forces of (a subset of) the harmonic bonds.
+
+    Parameters
+    ----------
+    subset:
+        Bond indices to evaluate (default: all).  The machine model
+        evaluates per-node subsets according to the bond program.
+
+    Returns
+    -------
+    (energy, forces):
+        Total bond energy and an ``(n_atoms, 3)`` force array (zero for
+        uninvolved atoms).
+    """
+    forces = np.zeros_like(system.positions)
+    if system.num_bonds == 0:
+        return 0.0, forces
+    bonds = system.bonds if subset is None else system.bonds[subset]
+    r0 = system.bond_r0 if subset is None else system.bond_r0[subset]
+    k = system.bond_k if subset is None else system.bond_k[subset]
+    if bonds.shape[0] == 0:
+        return 0.0, forces
+    i, j = bonds[:, 0], bonds[:, 1]
+    dr = system.minimum_image(system.positions[i] - system.positions[j])
+    r = np.linalg.norm(dr, axis=1)
+    stretch = r - r0
+    energy = float(np.sum(k * stretch ** 2))
+    # F_i = −dE/dr_i = −2k(r − r0) · dr/r
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f_over_r = np.where(r > 1e-12, -2.0 * k * stretch / r, 0.0)
+    fvec = dr * f_over_r[:, None]
+    np.add.at(forces, i, fvec)
+    np.subtract.at(forces, j, fvec)
+    return energy, forces
+
+
+def angle_energy_forces(
+    system: ChemicalSystem,
+    subset: Optional[np.ndarray] = None,
+) -> tuple[float, np.ndarray]:
+    """Energy and forces of (a subset of) the harmonic angle terms.
+
+    ``E = k (θ − θ₀)²`` per (i, j, k) triple with vertex j.  The
+    gradient follows the standard decomposition: the force on the
+    outer atoms is perpendicular to their bond vectors, and the vertex
+    absorbs the remainder (so ΣF = 0 exactly).
+    """
+    forces = np.zeros_like(system.positions)
+    if system.num_angles == 0:
+        return 0.0, forces
+    angles = system.angles if subset is None else system.angles[subset]
+    theta0 = system.angle_theta0 if subset is None else system.angle_theta0[subset]
+    k = system.angle_k if subset is None else system.angle_k[subset]
+    if angles.shape[0] == 0:
+        return 0.0, forces
+    ai, aj, ak = angles[:, 0], angles[:, 1], angles[:, 2]
+    rij = system.minimum_image(system.positions[ai] - system.positions[aj])
+    rkj = system.minimum_image(system.positions[ak] - system.positions[aj])
+    nij = np.linalg.norm(rij, axis=1)
+    nkj = np.linalg.norm(rkj, axis=1)
+    cos_t = np.einsum("ij,ij->i", rij, rkj) / np.maximum(nij * nkj, 1e-12)
+    cos_t = np.clip(cos_t, -1.0 + 1e-12, 1.0 - 1e-12)
+    theta = np.arccos(cos_t)
+    dtheta = theta - theta0
+    energy = float(np.sum(k * dtheta ** 2))
+    # dE/dθ = 2k(θ−θ0); dθ/dcosθ = −1/sinθ.
+    sin_t = np.sqrt(1.0 - cos_t ** 2)
+    dE_dcos = -2.0 * k * dtheta / np.maximum(sin_t, 1e-12)
+    # ∇_i cosθ = (r_kj/|r_kj| − cosθ · r_ij/|r_ij|) / |r_ij|, and
+    # symmetrically for k; the vertex takes −(F_i + F_k).
+    uij = rij / nij[:, None]
+    ukj = rkj / nkj[:, None]
+    gi = (ukj - cos_t[:, None] * uij) / nij[:, None]
+    gk = (uij - cos_t[:, None] * ukj) / nkj[:, None]
+    fi = -dE_dcos[:, None] * gi
+    fk = -dE_dcos[:, None] * gk
+    np.add.at(forces, ai, fi)
+    np.add.at(forces, ak, fk)
+    np.add.at(forces, aj, -(fi + fk))
+    return energy, forces
+
+
+def bonded_energy_forces(
+    system: ChemicalSystem,
+    bond_subset: Optional[np.ndarray] = None,
+    angle_subset: Optional[np.ndarray] = None,
+) -> tuple[float, np.ndarray]:
+    """All bonded terms (bonds + angles) in one call."""
+    e_b, f_b = bond_energy_forces(system, subset=bond_subset)
+    e_a, f_a = angle_energy_forces(system, subset=angle_subset)
+    return e_b + e_a, f_b + f_a
+
+
+def bond_lengths(system: ChemicalSystem) -> np.ndarray:
+    """Current bond lengths (diagnostics and property tests)."""
+    if system.num_bonds == 0:
+        return np.empty(0)
+    i, j = system.bonds[:, 0], system.bonds[:, 1]
+    dr = system.minimum_image(system.positions[i] - system.positions[j])
+    return np.linalg.norm(dr, axis=1)

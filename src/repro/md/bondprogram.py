@@ -1,0 +1,165 @@
+"""The bond program: static assignment of bonded terms to nodes (§IV.B.2).
+
+On each time step the atom positions of every bonded term must be
+brought together on one node.  Anton simplifies this by *statically*
+assigning bonded terms to nodes, so the set of destinations for a given
+atom is fixed: receive memory can be pre-allocated, packet counts are
+known, and atoms travel as fine-grained (one atom per packet) counted
+remote writes.
+
+The assignment is chosen to minimise communication latency for the
+initial placement of atoms (we place each term on the node containing
+the bond's midpoint).  As the system evolves and atoms migrate, the
+distance between an atom's *current* home node and its bond terms'
+nodes grows, and performance degrades over a few hundred thousand
+steps — so the program is regenerated every 100,000–200,000 steps
+(Fig. 11), in parallel with the simulation, and is therefore somewhat
+stale when installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.md.decomposition import Decomposition
+from repro.md.system import ChemicalSystem
+from repro.topology.torus import NodeCoord, Torus3D
+
+
+@dataclass
+class BondCommStats:
+    """Communication statistics of the current assignment."""
+
+    sends_per_node_mean: float
+    sends_per_node_max: int
+    hops_mean: float
+    hops_max: int
+    terms_per_node_max: int
+
+    def __str__(self) -> str:
+        return (
+            f"bond sends/node mean {self.sends_per_node_mean:.1f} "
+            f"max {self.sends_per_node_max}; hops mean {self.hops_mean:.2f} "
+            f"max {self.hops_max}"
+        )
+
+
+class BondProgram:
+    """Assignment of every bonded term (bonds *and* angles) to a node."""
+
+    def __init__(self, system: ChemicalSystem, decomposition: Decomposition) -> None:
+        self.system = system
+        self.decomposition = decomposition
+        self.torus = decomposition.torus
+        #: node grid-index triple per bonded term (bonds then angles)
+        self.term_node = np.zeros((system.num_bonded_terms, 3), dtype=np.int64)
+        self.generation = 0
+        self.regenerate()
+
+    @property
+    def num_terms(self) -> int:
+        return self.system.num_bonded_terms
+
+    def term_atoms(self, t: int) -> tuple[int, ...]:
+        """The atoms participating in term ``t`` (2 for bonds, 3 for
+        angles; terms are indexed bonds-first)."""
+        nb = self.system.num_bonds
+        if t < nb:
+            return (int(self.system.bonds[t, 0]), int(self.system.bonds[t, 1]))
+        a = self.system.angles[t - nb]
+        return (int(a[0]), int(a[1]), int(a[2]))
+
+    def is_angle(self, t: int) -> bool:
+        return t >= self.system.num_bonds
+
+    # ------------------------------------------------------------------
+    def regenerate(self) -> None:
+        """(Re)assign every term to the node holding its midpoint.
+
+        Uses the atoms' *current* positions, so regenerating after the
+        system has drifted restores short communication distances —
+        the Fig. 11 mechanism.
+        """
+        system = self.system
+        mids = []
+        if system.num_bonds:
+            i = system.bonds[:, 0]
+            j = system.bonds[:, 1]
+            ri = system.positions[i]
+            d = system.minimum_image(system.positions[j] - ri)
+            mids.append((ri + 0.5 * d) % system.box_edge)
+        if system.num_angles:
+            # Midpoint of an angle term: the centroid, min-image
+            # relative to the vertex atom.
+            vi = system.positions[system.angles[:, 1]]
+            d0 = system.minimum_image(system.positions[system.angles[:, 0]] - vi)
+            d2 = system.minimum_image(system.positions[system.angles[:, 2]] - vi)
+            mids.append((vi + (d0 + d2) / 3.0) % system.box_edge)
+        if mids:
+            self.term_node = self.decomposition._grid_of(np.vstack(mids))
+        self.generation += 1
+
+    def node_of_term(self, t: int) -> NodeCoord:
+        x, y, z = self.term_node[t]
+        return NodeCoord(int(x), int(y), int(z))
+
+    def terms_of_node(self, node: "NodeCoord | int") -> np.ndarray:
+        c = self.torus.coord(node)
+        mask = (
+            (self.term_node[:, 0] == c.x)
+            & (self.term_node[:, 1] == c.y)
+            & (self.term_node[:, 2] == c.z)
+        )
+        return np.nonzero(mask)[0]
+
+    # -- communication structure -------------------------------------------
+    def sends(self) -> dict[NodeCoord, dict[NodeCoord, int]]:
+        """Position packets required per (home node → term node) pair.
+
+        An atom participating in terms on *k* distinct remote nodes is
+        sent *k* times (one atom per packet, §IV.B.2); duplicate
+        (atom, destination) pairs collapse to one packet.
+        """
+        out: dict[NodeCoord, dict[NodeCoord, int]] = {}
+        seen: set[tuple[int, NodeCoord]] = set()
+        system = self.system
+        for t in range(self.num_terms):
+            dst = self.node_of_term(t)
+            for atom in self.term_atoms(t):
+                src = self.decomposition.node_of_atom(atom)
+                if src == dst:
+                    continue
+                key = (atom, dst)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.setdefault(src, {})[dst] = out.get(src, {}).get(dst, 0) + 1
+        return out
+
+    def stats(self) -> BondCommStats:
+        """Current communication statistics (drives Fig. 11)."""
+        torus = self.torus
+        sends = self.sends()
+        per_node = []
+        hop_list = []
+        for src, dsts in sends.items():
+            per_node.append(sum(dsts.values()))
+            for dst, count in dsts.items():
+                hop_list.extend([torus.hops(src, dst)] * count)
+        terms_per_node = np.bincount(
+            self.term_node[:, 0]
+            + torus.nx * (self.term_node[:, 1] + torus.ny * self.term_node[:, 2]),
+            minlength=torus.num_nodes,
+        )
+        return BondCommStats(
+            sends_per_node_mean=float(np.mean(per_node)) if per_node else 0.0,
+            sends_per_node_max=int(max(per_node)) if per_node else 0,
+            hops_mean=float(np.mean(hop_list)) if hop_list else 0.0,
+            hops_max=int(max(hop_list)) if hop_list else 0,
+            terms_per_node_max=(
+                int(terms_per_node.max()) if self.num_terms else 0
+            ),
+        )

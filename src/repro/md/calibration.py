@@ -1,0 +1,68 @@
+"""Compute-model calibration for the simulated Anton (Table 3).
+
+The communication side of the model is calibrated from Figs. 5–6; the
+*compute* durations below are the arithmetic throughputs of the ASIC's
+units, set from the architecture papers ([27, 28]) and tuned so the
+total step times land near Table 3's Anton column.  They are plain
+data — change them to model a faster or slower ASIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AntonCalibration:
+    """Arithmetic throughput constants of one ASIC."""
+
+    #: HTIS pairwise-interaction throughput (32 PPIPs @ 800 MHz).
+    htis_pairs_per_ns: float = 25.6
+
+    #: HTIS charge-spreading / force-interpolation throughput, in
+    #: (atom, grid-point) operations per ns (the same pipelines).
+    htis_spread_ops_per_ns: float = 8.0
+
+    #: Geometry-core cost per bonded term (evaluate + accumulate,
+    #: averaged over bond and angle terms).
+    gc_ns_per_bond_term: float = 38.0
+
+    #: Geometry-core cost to integrate one atom (velocity + position).
+    gc_ns_per_atom_update: float = 60.0
+
+    #: Geometry-core cost per grid point of a 1-D FFT pass
+    #: (radix butterflies amortised per point).
+    gc_ns_per_fft_point: float = 8.0
+
+    #: Geometry-core cost per grid point of the reciprocal-space
+    #: multiply (convolution kernel).
+    gc_ns_per_convolve_point: float = 2.0
+
+    #: Tensilica cost to compute the node-local kinetic energy before
+    #: the thermostat reduction, per atom.
+    ts_ns_per_ke_atom: float = 4.0
+
+    #: Worst-case padding factor for fixed packet counts: expected
+    #: packet counts are sized for temporal density fluctuations
+    #: (§IV.B.1), so buffers hold ``ceil(pad × mean atoms)`` entries.
+    density_pad: float = 1.75
+
+    #: Atom-position payload bytes (3 coordinates + atom id).
+    position_bytes: int = 32
+
+    #: Force payload bytes per atom (3 components + id).
+    force_bytes: int = 24
+
+    #: Grid-point payload bytes (complex value + index).
+    grid_point_bytes: int = 16
+
+    #: Atoms per packed force-return packet (≤ 256-byte payload).
+    def force_atoms_per_packet(self) -> int:
+        return max(1, 256 // self.force_bytes)
+
+    #: Grid points per packed charge/potential packet.
+    def grid_points_per_packet(self) -> int:
+        return max(1, 256 // 4)  # 4-byte accumulation quantities
+
+
+DEFAULT_CALIBRATION = AntonCalibration()

@@ -1,0 +1,155 @@
+"""Force-field kernels: Lennard-Jones + Ewald-split electrostatics.
+
+Anton expresses the non-bonded forces as a sum of *range-limited*
+interactions (van der Waals plus the short-range part of
+electrostatics) and *long-range* interactions computed with an
+FFT-based convolution (§II).  The split here is the classical Ewald
+``erfc`` split — the same family as the Gaussian split Ewald method
+Anton uses [39]:
+
+* range-limited pair energy:
+  ``4ε[(σ/r)^12 − (σ/r)^6] + q_i q_j erfc(α r)/r``
+* long-range (reciprocal) part: handled by
+  :mod:`repro.md.longrange` on a charge grid;
+* self-energy correction: ``−α/√π Σ q_i²``.
+
+All kernels are vectorised over pair arrays (see the optimization
+guidance: vectorise the inner loops, avoid Python-level pair loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Coulomb constant in kcal·Å/(mol·e²).
+COULOMB = 332.0637
+
+
+def _erfc(x: np.ndarray) -> np.ndarray:
+    """Complementary error function (vectorised).
+
+    Uses the Abramowitz–Stegun 7.1.26 rational approximation (max abs
+    error 1.5e-7), so the package keeps NumPy as its only hard
+    dependency; tests cross-check against ``scipy.special.erfc``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.where(x >= 0, 1.0, -1.0)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    y = poly * np.exp(-ax * ax)
+    return np.where(sign > 0, y, 2.0 - y)
+
+
+@dataclass(frozen=True)
+class ForceField:
+    """Parameters of the non-bonded model.
+
+    Parameters
+    ----------
+    cutoff:
+        Range-limited cutoff radius (Å); the DHFR benchmark uses 13 Å
+        class cutoffs.
+    ewald_alpha:
+        Ewald splitting parameter (1/Å).  Larger α pushes more of the
+        Coulomb sum into the grid part.
+    shift:
+        Shift the pair energy so it is exactly zero at the cutoff
+        (forces are unchanged).  Removes the truncation discontinuity
+        that would otherwise break NVE energy conservation whenever a
+        pair crosses the cutoff.
+    """
+
+    cutoff: float = 9.0
+    ewald_alpha: float = 0.35
+    shift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if self.ewald_alpha < 0:
+            raise ValueError("ewald_alpha must be >= 0")
+
+    # ------------------------------------------------------------------
+    def pair_energy_force(
+        self,
+        r: np.ndarray,
+        eps: np.ndarray,
+        sig: np.ndarray,
+        qq: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Energy and radial force magnitude for pair distances ``r``.
+
+        Parameters
+        ----------
+        r:
+            Pair distances (must be > 0 and ≤ cutoff for meaningful
+            results; the callers mask by cutoff).
+        eps, sig:
+            Combined pair LJ parameters (Lorentz–Berthelot done by the
+            caller: ``eps = sqrt(eps_i eps_j)``, ``sig = (σ_i+σ_j)/2``).
+        qq:
+            Charge products ``q_i q_j``.
+
+        Returns
+        -------
+        (energy, f_over_r):
+            Per-pair energy and ``F/r`` — the scalar to multiply the
+            displacement vector by to get the force on atom *i* from
+            atom *j* (positive = repulsive).
+        """
+        e, f = self._raw_pair(r, eps, sig, qq)
+        if self.shift:
+            e_rc, _ = self._raw_pair(
+                np.full_like(np.asarray(r, dtype=np.float64), self.cutoff),
+                eps, sig, qq,
+            )
+            e = e - e_rc
+        return e, f
+
+    def _raw_pair(self, r, eps, sig, qq):
+        r = np.asarray(r)
+        inv_r = 1.0 / r
+        inv_r2 = inv_r * inv_r
+        sr2 = (sig * inv_r) ** 2
+        sr6 = sr2 * sr2 * sr2
+        sr12 = sr6 * sr6
+        e_lj = 4.0 * eps * (sr12 - sr6)
+        # dE/dr = 4ε(−12 σ^12/r^13 + 6 σ^6/r^7); F/r = −dE/dr / r
+        f_lj_over_r = 4.0 * eps * (12.0 * sr12 - 6.0 * sr6) * inv_r2
+
+        alpha = self.ewald_alpha
+        if alpha > 0:
+            ar = alpha * r
+            erfc_ar = _erfc(ar)
+            e_coul = COULOMB * qq * erfc_ar * inv_r
+            # d/dr [erfc(αr)/r] = −erfc(αr)/r² − 2α/√π e^{−α²r²}/r
+            gauss = (2.0 * alpha / np.sqrt(np.pi)) * np.exp(-ar * ar)
+            f_coul_over_r = COULOMB * qq * (erfc_ar * inv_r + gauss) * inv_r2
+        else:
+            e_coul = COULOMB * qq * inv_r
+            f_coul_over_r = COULOMB * qq * inv_r * inv_r2
+        return e_lj + e_coul, f_lj_over_r + f_coul_over_r
+
+    def self_energy(self, charges: np.ndarray) -> float:
+        """Ewald self-energy correction (constant per configuration)."""
+        if self.ewald_alpha == 0:
+            return 0.0
+        return float(
+            -COULOMB * self.ewald_alpha / np.sqrt(np.pi) * np.sum(charges ** 2)
+        )
+
+    def combine_lj(
+        self,
+        eps_i: np.ndarray,
+        eps_j: np.ndarray,
+        sig_i: np.ndarray,
+        sig_j: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lorentz–Berthelot combination rules."""
+        return np.sqrt(eps_i * eps_j), 0.5 * (sig_i + sig_j)

@@ -1,0 +1,207 @@
+"""Velocity-Verlet integration with optional temperature control.
+
+On Anton integration runs in the flexible subsystem: each node updates
+the positions and velocities of the atoms in its home box (§II).  In
+simulations with a thermostat, a global all-reduce computes the kinetic
+energy used to rescale velocities (Fig. 2) — that all-reduce is the
+Table 3 "thermostat" row.  The numerics here are standard; the machine
+model charges their cost to the geometry cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.md.bonded import bonded_energy_forces
+from repro.md.forcefield import ForceField
+from repro.md.longrange import LongRangeSolver
+from repro.md.rangelimited import range_limited_forces
+from repro.md.system import KB, ChemicalSystem
+
+
+def kinetic_energy(system: ChemicalSystem) -> float:
+    """Total kinetic energy, kcal/mol."""
+    return 0.5 * float(
+        np.sum(system.masses[:, None] * system.velocities ** 2)
+    )
+
+
+def temperature(system: ChemicalSystem) -> float:
+    """Instantaneous temperature from equipartition, Kelvin."""
+    dof = 3 * system.num_atoms - 3  # net momentum removed
+    return 2.0 * kinetic_energy(system) / (dof * KB)
+
+
+@dataclass
+class StepEnergies:
+    """Per-step energy report."""
+
+    kinetic: float
+    range_limited: float
+    bonded: float
+    long_range: float
+    self_energy: float
+    #: pair virial W = Σ F·r of the range-limited interactions — the
+    #: quantity the Fig. 2 all-reduce carries for pressure control
+    virial: float = 0.0
+
+    @property
+    def potential(self) -> float:
+        return self.range_limited + self.bonded + self.long_range + self.self_energy
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.potential
+
+
+class Integrator:
+    """Velocity Verlet with a Berendsen thermostat.
+
+    Parameters
+    ----------
+    ff:
+        Non-bonded parameters.
+    dt:
+        Time step in internal units (1 unit ≈ 48.89 fs / √scale; the
+        defaults conserve energy on the test systems).
+    long_range:
+        Optional grid solver; when ``None`` the reciprocal part is
+        skipped (pure range-limited simulation).
+    long_range_interval:
+        Evaluate the long-range forces every this many steps, reusing
+        the previous grid forces in between — Anton runs long-range
+        every other time step (Table 3 caption).
+    thermostat_tau, target_temperature:
+        Berendsen coupling; ``thermostat_tau=None`` disables control
+        (NVE).
+    barostat_tau, target_pressure:
+        Berendsen pressure coupling (the barostat branch of Fig. 2's
+        dataflow: the all-reduce carries the virial, and positions and
+        the box rescale).  ``barostat_tau=None`` disables it.
+        ``target_pressure`` is in kcal/(mol·Å³) ≈ 69,000 atm per unit;
+        liquid-water pressures are O(1e-3) in these units.
+    """
+
+    def __init__(
+        self,
+        ff: ForceField,
+        dt: float = 0.001,
+        long_range: Optional[LongRangeSolver] = None,
+        long_range_interval: int = 2,
+        thermostat_tau: Optional[float] = None,
+        target_temperature: float = 300.0,
+        barostat_tau: Optional[float] = None,
+        target_pressure: float = 0.0,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if long_range_interval < 1:
+            raise ValueError("long_range_interval must be >= 1")
+        self.ff = ff
+        self.dt = dt
+        self.long_range = long_range
+        self.long_range_interval = long_range_interval
+        self.thermostat_tau = thermostat_tau
+        self.target_temperature = target_temperature
+        self.barostat_tau = barostat_tau
+        self.target_pressure = target_pressure
+        self.step_count = 0
+        self._cached_lr_forces: Optional[np.ndarray] = None
+        self._cached_lr_energy = 0.0
+
+    # ------------------------------------------------------------------
+    def compute_forces(self, system: ChemicalSystem) -> tuple[np.ndarray, StepEnergies]:
+        """All forces + energy report for the current configuration."""
+        rl = range_limited_forces(system, self.ff)
+        e_bond, f_bond = bonded_energy_forces(system)
+        forces = rl.forces + f_bond
+        e_lr = 0.0
+        if self.long_range is not None:
+            if (
+                self.step_count % self.long_range_interval == 0
+                or self._cached_lr_forces is None
+            ):
+                lr = self.long_range.solve(system, self.ff)
+                self._cached_lr_forces = lr.forces
+                self._cached_lr_energy = lr.energy
+            forces = forces + self._cached_lr_forces
+            e_lr = self._cached_lr_energy
+        energies = StepEnergies(
+            kinetic=kinetic_energy(system),
+            range_limited=rl.energy,
+            bonded=e_bond,
+            long_range=e_lr,
+            self_energy=self.ff.self_energy(system.charges)
+            if self.long_range is not None
+            else 0.0,
+            virial=rl.virial,
+        )
+        return forces, energies
+
+    def step(
+        self, system: ChemicalSystem, forces: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, StepEnergies]:
+        """Advance one velocity-Verlet step in place.
+
+        Returns the forces at the *new* positions (pass them back in to
+        avoid recomputation) and the energy report.
+        """
+        if forces is None:
+            forces, _ = self.compute_forces(system)
+        dt = self.dt
+        inv_m = 1.0 / system.masses[:, None]
+        system.velocities += 0.5 * dt * forces * inv_m
+        system.positions += dt * system.velocities
+        system.wrap()
+        self.step_count += 1
+        new_forces, energies = self.compute_forces(system)
+        system.velocities += 0.5 * dt * new_forces * inv_m
+        if self.thermostat_tau is not None:
+            self._berendsen(system)
+        if self.barostat_tau is not None:
+            self._berendsen_barostat(system, energies.virial)
+        energies.kinetic = kinetic_energy(system)
+        return new_forces, energies
+
+    def _berendsen(self, system: ChemicalSystem) -> None:
+        """Berendsen weak-coupling velocity rescale.
+
+        The global temperature needs the machine-wide kinetic energy —
+        on Anton this is the Fig. 2 all-reduce.
+        """
+        t = temperature(system)
+        if t <= 0:
+            return
+        lam2 = 1.0 + (self.dt / self.thermostat_tau) * (
+            self.target_temperature / t - 1.0
+        )
+        system.velocities *= np.sqrt(max(lam2, 0.0))
+
+    def pressure(self, system: ChemicalSystem, virial: float) -> float:
+        """Instantaneous pressure, kcal/(mol·Å³).
+
+        ``P = (2·KE + W) / (3V)`` with the pair virial ``W = Σ F·r``.
+        """
+        return (2.0 * kinetic_energy(system) + virial) / (3.0 * system.volume)
+
+    def _berendsen_barostat(self, system: ChemicalSystem, virial: float) -> None:
+        """Berendsen weak pressure coupling: isotropically rescale the
+        box and all positions toward the target pressure."""
+        p = self.pressure(system, virial)
+        mu3 = 1.0 - (self.dt / self.barostat_tau) * (self.target_pressure - p)
+        mu = max(0.9, min(1.1, mu3)) ** (1.0 / 3.0)
+        system.positions *= mu
+        system.box_edge *= mu
+        system.wrap()
+
+    def run(self, system: ChemicalSystem, steps: int) -> list[StepEnergies]:
+        """Run ``steps`` steps; returns the per-step energy reports."""
+        reports = []
+        forces: Optional[np.ndarray] = None
+        for _ in range(steps):
+            forces, energies = self.step(system, forces)
+            reports.append(energies)
+        return reports

@@ -1,0 +1,243 @@
+"""Long-range electrostatics: charge spreading, FFT convolution, force
+interpolation (§II, [39]).
+
+The long-range part of the Ewald-split Coulomb sum is evaluated on a
+regular grid:
+
+1. **charge spreading** — each atom's charge is spread to nearby grid
+   points with a cardinal B-spline kernel (on Anton: Gaussian
+   spreading on the HTIS; the kernel choice does not change any
+   communication count, since both spread to a fixed ``w³`` support);
+2. **FFT-based convolution** — forward 3-D FFT of the charge grid,
+   multiplication by the deconvolved reciprocal-space influence
+   function ``4π/k² · exp(−k²/4α²) / |B(k)|²``, inverse FFT to get the
+   potential grid (on Anton: the distributed dimension-ordered FFT of
+   §IV.B.3);
+3. **force interpolation** — analytic differentiation of the spreading
+   weights (the smooth-PME scheme): because the discrete energy
+   depends on an atom's position only through its weights, the
+   interpolated force is the *exact* negative gradient of the discrete
+   energy, which the tests verify to machine precision.
+
+This implementation is the *numerical* reference: a serial NumPy
+version whose results feed the physics tests.  The *communication* of
+the same dataflow is modelled by :mod:`repro.md.fft` +
+:mod:`repro.md.machine` on the simulated machine; grid shapes and
+per-node point counts there are derived from this solver's geometry,
+so timing model and numerics cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.forcefield import COULOMB, ForceField
+from repro.md.system import ChemicalSystem
+
+
+def _bspline_weights(t: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cardinal B-spline weights and derivatives at offsets ``t``.
+
+    ``t``: (n,) fractional parts in [0, 1).  Returns ``(w, dw)`` of
+    shape (n, order): the weights of grid points
+    ``floor(u) - order + 1 + j`` for ``j = 0..order-1`` and their
+    derivatives with respect to ``u``.  Uses the Cox–de Boor recursion;
+    weights sum to exactly 1 (partition of unity).
+    """
+    n = t.shape[0]
+    # M_2 at the arguments u_j = t + (order - 1 - j) for j = 0..order-1
+    # evaluated through the recursion on a (n, order) table.
+    u = t[:, None] + np.arange(order - 1, -1, -1)[None, :]
+    m = np.maximum(0.0, 1.0 - np.abs(u - 1.0))  # M_2
+    dm = np.zeros_like(m)
+    for k in range(3, order + 1):
+        dm = m - _shift(m)
+        m = (u * m + (k - u) * _shift(m)) / (k - 1)
+    if order == 2:
+        # Right-derivative convention at the inner knots, left-derivative
+        # at the support's right edge (u = 2, reachable only through
+        # float rounding of t + 1): the derivative sum stays exactly
+        # zero for every fractional offset.
+        dm = np.where(
+            (u >= 0) & (u < 1), 1.0, np.where((u >= 1) & (u <= 2), -1.0, 0.0)
+        )
+    return m, dm
+
+
+def _shift(m: np.ndarray) -> np.ndarray:
+    """M(u-1) for a table whose columns step u by -1."""
+    out = np.zeros_like(m)
+    out[:, :-1] = m[:, 1:]
+    return out
+
+
+def _bspline_ft_sq(order: int, grid: int) -> np.ndarray:
+    """|B(k)|² of the order-``order`` cardinal B-spline on ``grid`` points.
+
+    The standard smooth-PME Euler-spline factor:
+    ``B(m) ∝ Σ_{j=0}^{order-2} M_order(j+1) e^{2πi m j / grid}``.
+    """
+    j = np.arange(order - 1)
+    # M_order at integer arguments 1..order-1 via the recursion.
+    vals = np.array([_m_at_integer(order, int(x)) for x in (j + 1)])
+    k = np.arange(grid)
+    phase = np.exp(2j * np.pi * np.outer(k, j) / grid)
+    b = phase @ vals
+    return np.abs(b) ** 2
+
+
+def _m_at_integer(order: int, x: int) -> float:
+    """M_order evaluated at an integer point (scalar Cox-de Boor)."""
+    def m_rec(n: int, v: float) -> float:
+        if n == 2:
+            return max(0.0, 1.0 - abs(v - 1.0))
+        return (v * m_rec(n - 1, v) + (n - v) * m_rec(n - 1, v - 1.0)) / (n - 1)
+
+    return m_rec(order, float(x))
+
+
+@dataclass
+class LongRangeResult:
+    """Outcome of one long-range evaluation."""
+
+    forces: np.ndarray
+    energy: float
+    potential_grid: np.ndarray
+    charge_grid: np.ndarray
+
+
+class LongRangeSolver:
+    """Grid-based reciprocal-space Ewald solver (smooth-PME style).
+
+    Parameters
+    ----------
+    grid_points:
+        Grid resolution per dimension (Anton's DHFR runs use 32³).
+    spread_width:
+        B-spline interpolation order = support points per dimension
+        (4 is the common choice; each atom touches ``spread_width³``
+        grid points, the figure the machine model's charge-packet
+        counts use).
+    """
+
+    def __init__(self, grid_points: int = 32, spread_width: int = 4) -> None:
+        if grid_points < 4:
+            raise ValueError("grid must be at least 4 points per edge")
+        if not 2 <= spread_width <= 8:
+            raise ValueError("spread_width must be in 2..8")
+        self.grid_points = grid_points
+        self.spread_width = spread_width
+
+    # ------------------------------------------------------------------
+    def influence_function(self, box_edge: float, alpha: float) -> np.ndarray:
+        """Reciprocal-space influence function on the FFT grid
+        (without the B-spline deconvolution)."""
+        n = self.grid_points
+        k1d = 2.0 * np.pi * np.fft.fftfreq(n, d=box_edge / n)
+        kx, ky, kz = np.meshgrid(k1d, k1d, k1d, indexing="ij")
+        k2 = kx ** 2 + ky ** 2 + kz ** 2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = 4.0 * np.pi / k2 * np.exp(-k2 / (4.0 * alpha ** 2))
+        g[0, 0, 0] = 0.0  # tin-foil boundary: drop the k=0 term
+        return g
+
+    def _weights(self, system: ChemicalSystem):
+        """Grid support points, weights, and weight derivatives.
+
+        Returns (pts, w, dw): (n, m, 3) wrapped grid indices, (n, m)
+        separable weights, (n, m, 3) ∂w/∂frac per axis, with
+        m = spread_width³.
+        """
+        n = self.grid_points
+        order = self.spread_width
+        h = system.box_edge / n
+        frac = system.positions / h
+        base = np.floor(frac).astype(np.int64)
+        t = frac - base
+        w1, d1 = [], []
+        for ax in range(3):
+            w_ax, dw_ax = _bspline_weights(t[:, ax], order)
+            w1.append(w_ax)
+            d1.append(dw_ax)
+        # Support offsets per axis: base - order + 1 + j.
+        offs = np.arange(order) - order + 1
+        pts_ax = [
+            (base[:, ax][:, None] + offs[None, :]) % n for ax in range(3)
+        ]
+        # Tensor products over the cube, flattened to m = order³.
+        wx, wy, wz = w1
+        dx_, dy_, dz_ = d1
+        w = np.einsum("ni,nj,nk->nijk", wx, wy, wz).reshape(len(frac), -1)
+        dwx = np.einsum("ni,nj,nk->nijk", dx_, wy, wz).reshape(len(frac), -1)
+        dwy = np.einsum("ni,nj,nk->nijk", wx, dy_, wz).reshape(len(frac), -1)
+        dwz = np.einsum("ni,nj,nk->nijk", wx, wy, dz_).reshape(len(frac), -1)
+        px, py, pz = pts_ax
+        big = np.empty((len(frac), order, order, order, 3), dtype=np.int64)
+        big[..., 0] = px[:, :, None, None]
+        big[..., 1] = py[:, None, :, None]
+        big[..., 2] = pz[:, None, None, :]
+        pts = big.reshape(len(frac), -1, 3)
+        dw = np.stack([dwx, dwy, dwz], axis=-1)
+        return pts, w, dw
+
+    def spread_charges(
+        self, system: ChemicalSystem
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Spread charges to the grid.
+
+        Returns (charge_grid, points, weights).  The B-spline weights
+        sum to exactly 1 per atom, so the grid's total charge equals
+        the system's total charge to round-off.
+        """
+        pts, w, _dw = self._weights(system)
+        n = self.grid_points
+        grid = np.zeros((n, n, n))
+        flat = (pts[..., 0] * n + pts[..., 1]) * n + pts[..., 2]
+        np.add.at(grid.ravel(), flat.ravel(), (w * system.charges[:, None]).ravel())
+        return grid, pts, w
+
+    def solve(self, system: ChemicalSystem, ff: ForceField) -> LongRangeResult:
+        """Full long-range evaluation (spread → FFT → interpolate)."""
+        n = self.grid_points
+        h = system.box_edge / n
+        pts, w, dw = self._weights(system)
+        grid = np.zeros((n, n, n))
+        flat = (pts[..., 0] * n + pts[..., 1]) * n + pts[..., 2]
+        np.add.at(grid.ravel(), flat.ravel(), (w * system.charges[:, None]).ravel())
+
+        rho_k = np.fft.fftn(grid)
+        g_k = self.influence_function(system.box_edge, ff.ewald_alpha)
+        b1 = _bspline_ft_sq(self.spread_width, n)
+        bsq = np.einsum("i,j,k->ijk", b1, b1, b1)
+        bsq = np.maximum(bsq, 1e-10)
+        # φ_k = ρ_k g_k n³ / (V B²); E = ½ Σ_grid ρ φ then equals the
+        # Ewald reciprocal sum (C/2V) Σ g |S(k)|² by Parseval.
+        phi_k = rho_k * g_k * (n ** 3 / (system.volume * bsq))
+        phi = np.real(np.fft.ifftn(phi_k))
+
+        energy = 0.5 * COULOMB * float(np.sum(grid * phi))
+
+        # Analytic-differentiation forces (see module docstring).
+        phi_at = phi.ravel()[flat]
+        forces = np.empty_like(system.positions)
+        for axis in range(3):
+            grad = (phi_at * dw[..., axis]).sum(axis=1) / h
+            forces[:, axis] = -COULOMB * system.charges * grad
+        return LongRangeResult(
+            forces=forces, energy=energy, potential_grid=phi, charge_grid=grid
+        )
+
+    # -- statistics for the machine model --------------------------------------
+    def points_per_atom(self) -> int:
+        """Grid points each atom spreads to / interpolates from."""
+        return self.spread_width ** 3
+
+    def grid_points_per_node(self, node_grid: int) -> int:
+        """Grid points owned by one node of an ``node_grid³`` machine."""
+        if self.grid_points % node_grid:
+            raise ValueError(
+                f"grid {self.grid_points} does not tile a {node_grid}³ machine"
+            )
+        return (self.grid_points // node_grid) ** 3

@@ -1,0 +1,60 @@
+"""Torus link model.
+
+Each node connects to its six immediate neighbours via bidirectional
+links; each direction of each link is an independent 50.6 Gbit/s
+channel with 36.8 Gbit/s effective data bandwidth (§III.A).  A link
+direction is modelled as a FCFS :class:`~repro.engine.resource.Resource`
+whose occupancy per packet equals the serialization time, giving
+bandwidth contention and head-of-line queueing; head latency is charged
+separately from the calibrated segment constants (virtual cut-through;
+see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.resource import Resource
+from repro.topology.torus import NodeCoord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class LinkId:
+    """Identifies one direction of one torus link.
+
+    ``node`` is the node *injecting* into the link; ``dim``/``sign``
+    give the direction of travel.  The opposite direction of the same
+    physical cable is a distinct :class:`LinkId` (full duplex).
+    """
+
+    node: NodeCoord
+    dim: str
+    sign: int
+
+    def __repr__(self) -> str:
+        arrow = "+" if self.sign > 0 else "-"
+        return f"link({self.node}->{self.dim}{arrow})"
+
+
+class TorusLink:
+    """One direction of one inter-node torus link."""
+
+    def __init__(self, sim: "Simulator", link_id: LinkId) -> None:
+        self.sim = sim
+        self.link_id = link_id
+        self.channel = Resource(sim, capacity=1, name=repr(link_id))
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def record(self, wire_bytes: int) -> None:
+        """Account one packet's traffic on this link direction."""
+        self.packets_carried += 1
+        self.bytes_carried += wire_bytes
+
+    def utilization(self, elapsed_ns: float | None = None) -> float:
+        """Fraction of time the channel was streaming bits."""
+        return self.channel.utilization(elapsed_ns)

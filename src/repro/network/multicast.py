@@ -1,0 +1,149 @@
+"""Multicast pattern tables and the pattern compiler (§III.A).
+
+Anton's network can send a single packet to an arbitrary set of local
+or remote destination clients.  When a multicast packet is injected or
+arrives at a node, a table lookup determines the local clients and the
+outgoing links to which the packet is forwarded; up to 256 precomputed
+patterns can be programmed per node.
+
+The compiler below builds **dimension-ordered spanning trees**: the
+packet travels along the X axis (both directions as needed), drops Y
+branches at columns containing destinations, and the Y branches drop Z
+branches.  This yields minimal hop counts on a torus and exactly one
+inbound edge per tree node, so the per-node table entry is a simple
+(local clients, outgoing directions) pair.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.topology.torus import NodeCoord, Torus3D
+
+DIM_ORDER = ("x", "y", "z")
+
+
+@dataclass
+class TableEntry:
+    """Per-node multicast table entry: deliveries and forwards."""
+
+    local_clients: tuple[str, ...] = ()
+    forward: tuple[tuple[str, int], ...] = ()  # (dim, sign) pairs
+
+
+@dataclass
+class MulticastPattern:
+    """A compiled multicast pattern.
+
+    Attributes
+    ----------
+    source:
+        The injection node the tree was compiled for.  Patterns are
+        source-specific (each sender programs its own pattern slot).
+    entries:
+        Mapping from every node the tree touches to its table entry.
+    destinations:
+        The original destination map, kept for verification.
+    """
+
+    source: NodeCoord
+    entries: dict[NodeCoord, TableEntry]
+    destinations: dict[NodeCoord, tuple[str, ...]]
+    pattern_id: int = -1  # assigned at registration time
+
+    @property
+    def nodes_touched(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_link_traversals(self) -> int:
+        """Number of link crossings one multicast packet makes."""
+        return sum(len(e.forward) for e in self.entries.values())
+
+    def reached_clients(self) -> set[tuple[NodeCoord, str]]:
+        """All (node, client) pairs the pattern delivers to."""
+        out: set[tuple[NodeCoord, str]] = set()
+        for node, entry in self.entries.items():
+            for client in entry.local_clients:
+                out.add((node, client))
+        return out
+
+
+def compile_pattern(
+    torus: Torus3D,
+    source: "NodeCoord | int",
+    destinations: Mapping["NodeCoord | int", Sequence[str]],
+) -> MulticastPattern:
+    """Compile a dimension-ordered multicast tree.
+
+    Parameters
+    ----------
+    torus:
+        The machine topology.
+    source:
+        Injecting node.
+    destinations:
+        Mapping from destination node to the client names on that node
+        that should receive the packet.  The source node itself may be
+        a destination (local multicast delivery).
+
+    Returns
+    -------
+    MulticastPattern
+        With one table entry per touched node.  The tree is minimal in
+        hops per branch (shortest wraparound displacement per
+        dimension) and contains no cycles.
+    """
+    src = torus.coord(source)
+    dest_map: dict[NodeCoord, tuple[str, ...]] = {}
+    for node, clients in destinations.items():
+        coord = torus.coord(node)
+        if not clients:
+            raise ValueError(f"destination {coord} has an empty client list")
+        existing = dest_map.get(coord, ())
+        dest_map[coord] = existing + tuple(clients)
+
+    locals_: dict[NodeCoord, list[str]] = defaultdict(list)
+    forwards: dict[NodeCoord, set[tuple[str, int]]] = defaultdict(set)
+
+    def build(at: NodeCoord, dests: list[NodeCoord], dims: tuple[str, ...]) -> None:
+        if not dims:
+            # All remaining destinations must be this very node.
+            for d in dests:
+                if d != at:  # pragma: no cover - compiler invariant
+                    raise AssertionError(f"unroutable destination {d} at {at}")
+                locals_[at].extend(dest_map[d])
+            return
+        dim, rest = dims[0], dims[1:]
+        axis = {"x": 0, "y": 1, "z": 2}[dim]
+        n = torus.shape[axis]
+        groups: dict[int, list[NodeCoord]] = defaultdict(list)
+        for d in dests:
+            delta = torus._delta(at[axis], d[axis], n)
+            groups[delta].append(d)
+        if 0 in groups:
+            build(at, groups.pop(0), rest)
+        for sign in (1, -1):
+            offsets = sorted(k * sign for k in groups if k * sign > 0)
+            if not offsets:
+                continue
+            cur = at
+            for step in range(1, offsets[-1] + 1):
+                forwards[cur].add((dim, sign))
+                cur = torus.neighbor(cur, dim, sign)
+                if step in offsets:
+                    build(cur, groups[step * sign], rest)
+
+    build(src, list(dest_map), DIM_ORDER)
+
+    touched = set(locals_) | set(forwards) | {src}
+    entries = {
+        node: TableEntry(
+            local_clients=tuple(locals_.get(node, ())),
+            forward=tuple(sorted(forwards.get(node, set()))),
+        )
+        for node in touched
+    }
+    return MulticastPattern(source=src, entries=entries, destinations=dest_map)

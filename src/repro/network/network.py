@@ -1,0 +1,384 @@
+"""The packet-level torus network simulator.
+
+Latency model (calibrated, see :mod:`repro.constants` and DESIGN.md §5):
+
+* source on-chip ring traversal: ``SRC_RING_NS`` (19 ns);
+* each link crossing: ``LINK_COST_NS[dim]`` (adapter pair + wire);
+* each transit node: ``THROUGH_RING_NS[outgoing dim]``;
+* destination ring traversal: ``DST_RING_NS`` (25 ns);
+* non-inline payload serialization latency charged once, at the first
+  link (virtual cut-through — downstream links are pipelined);
+* every traversed link direction is *occupied* for the full
+  serialization time, which is how bandwidth contention and
+  head-of-line blocking arise.
+
+With the sender's 36 ns injection overhead and the receiver's 42 ns
+successful counter poll (both charged by the clients), a 0-byte write
+between X-neighbours costs exactly 162 ns — the paper's headline
+number.
+
+Ordering: the network does not, in general, preserve packet ordering
+(§III.A).  The model exposes this with an optional per-hop reordering
+jitter; packets sent with the ``in_order`` header flag are delivered in
+send order between a fixed (source node, source client, destination
+node) pair regardless of jitter, which is what Anton's migration
+protocol relies on (§IV.B.5).
+
+Implementation note: packet transport is written in continuation-
+passing style (callbacks on the event queue) rather than as generator
+processes — an MD time step moves hundreds of thousands of packets and
+the per-process machinery dominated the run time of the first
+implementation.  Client-side code keeps the friendlier generator API.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.constants import (
+    DST_RING_NS,
+    HEADER_BYTES,
+    LINK_COST_NS,
+    MAX_MULTICAST_PATTERNS,
+    MULTICAST_LOOKUP_NS,
+    SRC_RING_NS,
+    THROUGH_RING_NS,
+    TORUS_LINK_EFFECTIVE_GBPS,
+)
+from repro.engine.event import Event
+from repro.engine.simulator import Simulator
+from repro.network.link import LinkId, TorusLink
+from repro.network.multicast import MulticastPattern
+from repro.network.packet import Packet
+from repro.topology.torus import Hop, NodeCoord, Torus3D
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.asic.client import NetworkClient
+
+#: Serialization time of a bare header; its wire time is overlapped with
+#: the link-adapter latency, so only payload beyond the header adds
+#: head latency.
+_HEADER_SER_NS = HEADER_BYTES * 8.0 / TORUS_LINK_EFFECTIVE_GBPS
+
+
+class Network:
+    """A torus network with attached clients.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    torus:
+        Machine topology.
+    reorder_jitter_ns:
+        When positive, each hop of a packet *without* the in-order flag
+        receives a uniform extra delay in ``[0, reorder_jitter_ns)``,
+        modelling adaptive-routing reordering.  Zero (the default)
+        keeps the network deterministic and calibrated.
+    seed:
+        Seed for the jitter RNG (jitter is still reproducible).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        torus: Torus3D,
+        reorder_jitter_ns: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.torus = torus
+        self.reorder_jitter_ns = reorder_jitter_ns
+        self._rng = random.Random(seed)
+        self._links: dict[tuple, TorusLink] = {}
+        self._clients: dict[tuple[NodeCoord, str], "NetworkClient"] = {}
+        self._patterns: dict[int, MulticastPattern] = {}
+        self._next_pattern_id = 0
+        self._per_node_patterns: dict[NodeCoord, int] = {}
+        self._inorder_tail: dict[tuple[NodeCoord, str, NodeCoord], Event] = {}
+        # statistics
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.link_traversals = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, client: "NetworkClient") -> None:
+        """Register a client at (node, name); names are per-node unique."""
+        key = (client.node, client.name)
+        if key in self._clients:
+            raise ValueError(f"client {client.name!r} already attached at {client.node}")
+        self._clients[key] = client
+
+    def client(self, node: "NodeCoord | int", name: str) -> "NetworkClient":
+        """Look up an attached client."""
+        key = (self.torus.coord(node), name)
+        try:
+            return self._clients[key]
+        except KeyError:
+            raise KeyError(f"no client {name!r} at node {key[0]}") from None
+
+    def link(self, node: "NodeCoord | int", dim: str, sign: int) -> TorusLink:
+        """The link direction leaving ``node`` along ``dim``/``sign``
+        (created on first use; keyed by plain tuple — hot path)."""
+        key = (node, dim, sign)
+        link = self._links.get(key)
+        if link is None:
+            coord = self.torus.coord(node)
+            key = (coord, dim, sign)
+            link = self._links.get(key)
+            if link is None:
+                link = TorusLink(self.sim, LinkId(coord, dim, sign))
+                self._links[key] = link
+        return link
+
+    def links(self):
+        """All link directions that have carried traffic."""
+        return iter(self._links.values())
+
+    # ------------------------------------------------------------------
+    # multicast table programming
+    # ------------------------------------------------------------------
+    def register_pattern(self, pattern: MulticastPattern) -> int:
+        """Program a compiled pattern into the per-node tables.
+
+        Raises
+        ------
+        RuntimeError
+            If any touched node would exceed the hardware limit of 256
+            patterns (§III.A).
+        """
+        for node in pattern.entries:
+            if self._per_node_patterns.get(node, 0) >= MAX_MULTICAST_PATTERNS:
+                raise RuntimeError(
+                    f"node {node} exceeds {MAX_MULTICAST_PATTERNS} multicast patterns"
+                )
+        for node in pattern.entries:
+            self._per_node_patterns[node] = self._per_node_patterns.get(node, 0) + 1
+        pattern_id = self._next_pattern_id
+        self._next_pattern_id += 1
+        pattern.pattern_id = pattern_id
+        self._patterns[pattern_id] = pattern
+        return pattern_id
+
+    def pattern(self, pattern_id: int) -> MulticastPattern:
+        return self._patterns[pattern_id]
+
+    # ------------------------------------------------------------------
+    # packet injection
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> Event:
+        """Inject a packet at its source node's ring.
+
+        The caller (a client) is responsible for charging its own send
+        overhead (e.g. ``SLICE_SEND_NS``) before calling.  Returns an
+        event that fires when the packet has been delivered to every
+        destination client (all of them, for multicast).
+        """
+        self.packets_injected += 1
+        done = Event(self.sim, name="delivered")
+        if packet.is_multicast:
+            _McastTransit(self, packet, done)
+        else:
+            _UcastTransit(self, packet, done)
+        return done
+
+    # -- shared helpers -----------------------------------------------------
+    def _inorder_gate(
+        self, packet: Packet, dst: NodeCoord
+    ) -> tuple[Optional[Event], Optional[Event]]:
+        """FIFO chaining for the per-pair in-order delivery guarantee.
+
+        Returns ``(prev, mine)``: delivery must wait for ``prev`` (the
+        previous in-order packet of this pair) and succeed ``mine``
+        once delivered.  Gate creation order equals arrival-processing
+        order, which for in-order packets (never jittered, fixed path)
+        equals send order.
+        """
+        if not packet.in_order:
+            return None, None
+        key = (packet.src_node, packet.src_client, dst)
+        prev = self._inorder_tail.get(key)
+        mine = Event(self.sim, name="inorder")
+        self._inorder_tail[key] = mine
+        return prev, mine
+
+    def _jitter(self, packet: Packet) -> float:
+        if self.reorder_jitter_ns > 0.0 and not packet.in_order:
+            return self._rng.uniform(0.0, self.reorder_jitter_ns)
+        return 0.0
+
+    def _deliver(self, packet: Packet, node: NodeCoord, client_name: str) -> None:
+        client = self._clients.get((node, client_name))
+        if client is None:
+            raise KeyError(
+                f"packet {packet!r} addressed to missing client "
+                f"{client_name!r} at {node}"
+            )
+        self.packets_delivered += 1
+        client.receive(packet)
+
+
+class _UcastTransit:
+    """Continuation-passing unicast transport of one packet."""
+
+    __slots__ = ("net", "packet", "done", "route", "idx", "cur",
+                 "payload_extra", "order_prev", "order_mine")
+
+    def __init__(self, net: Network, packet: Packet, done: Event) -> None:
+        self.net = net
+        self.packet = packet
+        self.done = done
+        torus = net.torus
+        src = packet.src_node
+        dst = packet.dst_node
+        self.route = torus.route(src, dst) if src != dst else []
+        self.idx = 0
+        self.cur = src
+        self.payload_extra = max(0.0, packet.serialization_ns - _HEADER_SER_NS)
+        self.order_prev, self.order_mine = net._inorder_gate(packet, dst)
+        net.sim.schedule(SRC_RING_NS, self._next_hop)
+
+    def _next_hop(self) -> None:
+        net = self.net
+        if self.idx >= len(self.route):
+            delay = DST_RING_NS if self.route else 0.0
+            net.sim.schedule(delay, self._arrive)
+            return
+        hop = self.route[self.idx]
+        link = net.link(self.cur, hop.dim, hop.sign)
+        if link.channel.try_acquire():
+            self._granted(link, hop)
+        else:
+            req = link.channel.request()
+            req.add_callback(lambda _ev, link=link, hop=hop: self._granted(link, hop))
+
+    def _granted(self, link: TorusLink, hop: Hop) -> None:
+        net = self.net
+        packet = self.packet
+        link.record(packet.wire_bytes)
+        net.link_traversals += 1
+        net.sim.schedule(packet.serialization_ns, link.channel.release)
+        latency = LINK_COST_NS[hop.dim]
+        if self.idx == 0:
+            latency += self.payload_extra
+        else:
+            latency += THROUGH_RING_NS[hop.dim]
+        latency += net._jitter(packet)
+        self.cur = net.torus.neighbor(self.cur, hop.dim, hop.sign)
+        self.idx += 1
+        net.sim.schedule(latency, self._next_hop)
+
+    def _arrive(self) -> None:
+        if self.order_prev is not None and not self.order_prev.triggered:
+            self.order_prev.add_callback(lambda _ev: self._finish())
+        else:
+            self._finish()
+
+    def _finish(self) -> None:
+        net = self.net
+        net._deliver(self.packet, self.packet.dst_node, self.packet.dst_client)
+        if self.order_mine is not None and not self.order_mine.triggered:
+            self.order_mine.succeed(net.sim.now)
+        self.done.succeed(net.sim.now)
+
+
+class _McastTransit:
+    """Continuation-passing multicast transport of one packet.
+
+    Walks the compiled tree, delivering to local clients and forwarding
+    along outgoing links; ``done`` fires when the last delivery lands.
+    """
+
+    __slots__ = ("net", "packet", "done", "pattern", "payload_extra", "outstanding")
+
+    def __init__(self, net: Network, packet: Packet, done: Event) -> None:
+        self.net = net
+        self.packet = packet
+        self.done = done
+        pattern = net._patterns.get(packet.pattern_id)  # type: ignore[arg-type]
+        if pattern is None:
+            raise KeyError(f"multicast pattern {packet.pattern_id} not registered")
+        if pattern.source != packet.src_node:
+            raise ValueError(
+                f"pattern {packet.pattern_id} was compiled for source "
+                f"{pattern.source}, injected at {packet.src_node}"
+            )
+        self.pattern = pattern
+        self.payload_extra = max(0.0, packet.serialization_ns - _HEADER_SER_NS)
+        self.outstanding = sum(
+            len(e.local_clients) for e in pattern.entries.values()
+        )
+        if self.outstanding == 0:
+            raise ValueError(f"pattern {packet.pattern_id} delivers to no client")
+        net.sim.schedule(SRC_RING_NS, self._visit, packet.src_node, True)
+
+    def _visit(self, node: NodeCoord, first_link: bool) -> None:
+        net = self.net
+        entry = self.pattern.entries[node]
+        packet = self.packet
+        if packet.in_order:
+            for client_name in entry.local_clients:
+                delay = DST_RING_NS if node != packet.src_node else 0.0
+                order_prev, order_mine = net._inorder_gate(packet, node)
+                net.sim.schedule(
+                    delay, self._deliver_local, node, client_name, order_prev, order_mine
+                )
+        else:
+            for client_name in entry.local_clients:
+                delay = DST_RING_NS if node != packet.src_node else 0.0
+                net.sim.schedule(delay, self._finish_local, node, client_name, None)
+        for dim, sign in entry.forward:
+            link = net.link(node, dim, sign)
+            if link.channel.try_acquire():
+                self._granted(node, dim, sign, link, first_link)
+            else:
+                req = link.channel.request()
+                req.add_callback(
+                    lambda _ev, node=node, dim=dim, sign=sign, link=link,
+                    first=first_link: self._granted(node, dim, sign, link, first)
+                )
+
+    def _deliver_local(
+        self,
+        node: NodeCoord,
+        client_name: str,
+        order_prev: Optional[Event],
+        order_mine: Optional[Event],
+    ) -> None:
+        if order_prev is not None and not order_prev.triggered:
+            order_prev.add_callback(
+                lambda _ev: self._finish_local(node, client_name, order_mine)
+            )
+        else:
+            self._finish_local(node, client_name, order_mine)
+
+    def _finish_local(
+        self, node: NodeCoord, client_name: str, order_mine: Optional[Event]
+    ) -> None:
+        net = self.net
+        net._deliver(self.packet, node, client_name)
+        if order_mine is not None and not order_mine.triggered:
+            order_mine.succeed(net.sim.now)
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            self.done.succeed(net.sim.now)
+
+    def _granted(
+        self, node: NodeCoord, dim: str, sign: int, link: TorusLink, first_link: bool
+    ) -> None:
+        net = self.net
+        packet = self.packet
+        link.record(packet.wire_bytes)
+        net.link_traversals += 1
+        net.sim.schedule(packet.serialization_ns, link.channel.release)
+        latency = LINK_COST_NS[dim] + MULTICAST_LOOKUP_NS
+        if first_link:
+            latency += self.payload_extra
+        else:
+            latency += THROUGH_RING_NS[dim]
+        latency += net._jitter(packet)
+        nxt = net.torus.neighbor(node, dim, sign)
+        net.sim.schedule(latency, self._visit, nxt, False)

@@ -1,0 +1,158 @@
+"""Packet formats (§III.A).
+
+Packets carry 32 bytes of header and 0–256 bytes of payload; writes of
+up to 8 bytes transport the data in the header itself.  Three packet
+kinds exist in the model:
+
+* **write** — a remote write into a client's local memory, labelled
+  with a synchronization-counter identifier (counted remote writes,
+  §III.B);
+* **accum** — an accumulation packet that *adds* its payload, in 4-byte
+  quantities, to the value currently stored at the target address
+  (accepted only by accumulation memories);
+* **fifo** — an arbitrary message delivered to a processing slice's
+  hardware-managed circular FIFO (§III.C), used when communication
+  cannot be formulated as counted remote writes (migration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.constants import (
+    HEADER_BYTES,
+    INLINE_PAYLOAD_BYTES,
+    MAX_PAYLOAD_BYTES,
+    TORUS_LINK_EFFECTIVE_GBPS,
+)
+from repro.topology.torus import NodeCoord
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(Enum):
+    WRITE = "write"
+    ACCUM = "accum"
+    FIFO = "fifo"
+
+
+@dataclass(slots=True)
+class Packet:
+    """A network packet.
+
+    Parameters
+    ----------
+    src_node, src_client:
+        Originating node coordinate and client name.
+    dst_node, dst_client:
+        Target node and client.  For multicast packets these describe
+        the injection point; the actual fan-out comes from the pattern
+        table (``pattern_id``).
+    payload_bytes:
+        Payload size, 0–256.
+    payload:
+        Optional actual data (a numpy array or any picklable object);
+        carried end to end so that integration tests can verify data
+        integrity, but never consulted by the network model itself.
+    counter_id:
+        Synchronization counter to increment at the receiver (write and
+        accum packets).
+    address:
+        Target offset/key in the receiving client's local memory.
+    in_order:
+        Header flag selectively guaranteeing in-order delivery between
+        a fixed source-destination pair (§III.A).
+    pattern_id:
+        Multicast pattern identifier; ``None`` for unicast.
+    """
+
+    src_node: NodeCoord
+    src_client: str
+    dst_node: NodeCoord
+    dst_client: str
+    kind: PacketKind = PacketKind.WRITE
+    payload_bytes: int = 0
+    payload: Any = None
+    counter_id: Optional[str] = None
+    address: Optional[Any] = None
+    in_order: bool = False
+    pattern_id: Optional[int] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Bytes occupying a link (header + non-inline payload) and the
+    #: per-link streaming time; both derived once at construction —
+    #: the transport reads them on every hop.
+    wire_bytes: int = field(init=False)
+    serialization_ns: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_bytes <= MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload must be 0..{MAX_PAYLOAD_BYTES} bytes, "
+                f"got {self.payload_bytes}"
+            )
+        if self.kind is PacketKind.ACCUM and self.payload_bytes % 4 != 0:
+            raise ValueError(
+                "accumulation packets add their payload in 4-byte "
+                f"quantities; got {self.payload_bytes} bytes"
+            )
+        self.wire_bytes = (
+            HEADER_BYTES
+            if self.payload_bytes <= INLINE_PAYLOAD_BYTES
+            else HEADER_BYTES + self.payload_bytes
+        )
+        self.serialization_ns = self.wire_bytes * 8.0 / TORUS_LINK_EFFECTIVE_GBPS
+
+    # -- wire model ---------------------------------------------------------
+    @property
+    def inline(self) -> bool:
+        """True when the payload rides in the header (≤ 8 bytes)."""
+        return self.payload_bytes <= INLINE_PAYLOAD_BYTES
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.pattern_id is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.kind.value} pkt#{self.packet_id} "
+            f"{self.src_node}:{self.src_client} -> "
+            f"{self.dst_node}:{self.dst_client} {self.payload_bytes}B>"
+        )
+
+
+def WritePacket(**kwargs: Any) -> Packet:
+    """Convenience constructor for a write packet."""
+    kwargs.setdefault("kind", PacketKind.WRITE)
+    return Packet(**kwargs)
+
+
+def AccumPacket(**kwargs: Any) -> Packet:
+    """Convenience constructor for an accumulation packet."""
+    kwargs.setdefault("kind", PacketKind.ACCUM)
+    return Packet(**kwargs)
+
+
+def FifoPacket(**kwargs: Any) -> Packet:
+    """Convenience constructor for a FIFO message packet."""
+    kwargs.setdefault("kind", PacketKind.FIFO)
+    return Packet(**kwargs)
+
+
+def payload_bytes_of(data: Any) -> int:
+    """Payload size of an actual data object (numpy-aware)."""
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, str):
+        return min(len(data.encode()), MAX_PAYLOAD_BYTES)
+    if isinstance(data, (int, float)):
+        return 8
+    raise TypeError(f"cannot infer payload size of {type(data).__name__}")

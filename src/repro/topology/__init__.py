@@ -1,0 +1,14 @@
+"""Machine topology: the inter-node 3-D torus and the intra-node ring.
+
+Anton nodes are identified by Cartesian coordinates in a 3-D torus
+(§III.A); each ASIC carries a six-router ring connecting the network
+clients (Fig. 1).  :class:`~repro.topology.torus.Torus3D` provides
+coordinates, neighbourhoods, and dimension-ordered shortest-path
+routing; :class:`~repro.topology.ring.RingLayout` describes the on-chip
+client placement that motivates the calibrated per-dimension hop costs.
+"""
+
+from repro.topology.ring import RingClient, RingLayout
+from repro.topology.torus import NodeCoord, Torus3D
+
+__all__ = ["NodeCoord", "RingClient", "RingLayout", "Torus3D"]

@@ -1,0 +1,103 @@
+"""The intra-node six-router communication ring (Fig. 1).
+
+Each Anton ASIC carries six on-chip routers forming a ring.  Attached
+to the ring are the network clients — four processing slices, the HTIS,
+two accumulation memories — and the six inter-node link adapters.
+
+The packet-level network model in :mod:`repro.network` does **not**
+simulate this ring router-by-router; it charges the calibrated segment
+costs of Fig. 6 (see :mod:`repro.constants`).  This module exists to
+
+* document a client placement consistent with the published numbers
+  (X-dimension transit traffic crosses more ring routers than Y/Z
+  transit traffic, which is why X hops cost 76 ns versus 54 ns), and
+* provide ring-hop arithmetic for tests that check the calibration is
+  *self-consistent* (e.g. X adapters are farther apart on the ring than
+  Y or Z adapters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+NUM_RING_ROUTERS = 6
+
+
+class RingClient(str, Enum):
+    """Every client attachable to the on-chip ring."""
+
+    SLICE0 = "slice0"
+    SLICE1 = "slice1"
+    SLICE2 = "slice2"
+    SLICE3 = "slice3"
+    HTIS = "htis"
+    ACCUM0 = "accum0"
+    ACCUM1 = "accum1"
+    XPLUS = "x+"
+    XMINUS = "x-"
+    YPLUS = "y+"
+    YMINUS = "y-"
+    ZPLUS = "z+"
+    ZMINUS = "z-"
+
+
+#: Router index each client attaches to.  Chosen to match Fig. 1's
+#: connectivity sketch: the Y and Z adapter pairs sit on adjacent
+#: routers (cheap transit), while X+ and X- sit three ring hops apart
+#: (expensive transit), consistent with the 76 vs 54 ns hop costs.
+DEFAULT_PLACEMENT: dict[RingClient, int] = {
+    RingClient.YMINUS: 0,
+    RingClient.YPLUS: 0,
+    RingClient.SLICE0: 0,
+    RingClient.ZMINUS: 1,
+    RingClient.ZPLUS: 1,
+    RingClient.SLICE1: 1,
+    RingClient.XMINUS: 2,
+    RingClient.SLICE2: 2,
+    RingClient.ACCUM0: 3,
+    RingClient.HTIS: 3,
+    RingClient.SLICE3: 4,
+    RingClient.ACCUM1: 4,
+    RingClient.XPLUS: 5,
+}
+
+
+@dataclass(frozen=True)
+class RingLayout:
+    """Client placement on the six-router ring with hop arithmetic."""
+
+    placement: tuple[tuple[RingClient, int], ...] = tuple(DEFAULT_PLACEMENT.items())
+
+    def router_of(self, client: RingClient) -> int:
+        """Router index a client is attached to."""
+        for c, r in self.placement:
+            if c is client:
+                return r
+        raise KeyError(client)
+
+    @staticmethod
+    def ring_hops(a: int, b: int) -> int:
+        """Shortest-path hop count between routers ``a`` and ``b``.
+
+        The ring is bidirectional; maximum distance is 3.
+        """
+        for r in (a, b):
+            if not 0 <= r < NUM_RING_ROUTERS:
+                raise ValueError(f"router index {r} out of range")
+        d = (b - a) % NUM_RING_ROUTERS
+        return min(d, NUM_RING_ROUTERS - d)
+
+    def client_hops(self, a: RingClient, b: RingClient) -> int:
+        """Ring hops between two clients' attachment routers."""
+        return self.ring_hops(self.router_of(a), self.router_of(b))
+
+    def transit_hops(self, dim: str) -> int:
+        """Ring hops crossed by transit traffic continuing in ``dim``.
+
+        Transit traffic enters at one adapter of the dimension and
+        leaves at the opposite one (e.g. arrives on X+, departs on X-).
+        """
+        plus = RingClient(f"{dim}+")
+        minus = RingClient(f"{dim}-")
+        return self.client_hops(plus, minus)

@@ -1,0 +1,30 @@
+"""Instrumentation: the simulated logic analyzer (§IV.C, Fig. 13).
+
+The real Anton carries an on-chip diagnostic network that records ASIC
+activity; the paper's Table 3 and Fig. 13 come from it.  This package
+is the model's equivalent: an :class:`~repro.trace.recorder.ActivityRecorder`
+collects per-unit activity intervals (compute, stall/wait, send,
+receive) and per-link occupancy, :mod:`repro.trace.stats` turns them
+into the critical-path communication accounting of Table 3, and
+:mod:`repro.trace.timeline` renders the Fig. 13 style activity
+timeline as text/CSV.
+"""
+
+from repro.trace.recorder import Activity, ActivityKind, ActivityRecorder
+from repro.trace.stats import (
+    CriticalPathStats,
+    communication_split,
+    per_node_communication_split,
+)
+from repro.trace.timeline import render_timeline, timeline_csv
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "ActivityRecorder",
+    "CriticalPathStats",
+    "communication_split",
+    "per_node_communication_split",
+    "render_timeline",
+    "timeline_csv",
+]

@@ -1,0 +1,146 @@
+"""Critical-path communication accounting (Table 3).
+
+The paper computes critical-path communication time "by subtracting
+critical-path arithmetic computation time from total time"; it thus
+includes all sender, receiver and synchronization overhead plus on-chip
+data movement.  :func:`communication_split` applies the same
+subtraction to a recorded phase: the *critical path* is the wall-clock
+span of the phase; compute time is the portion of that span during
+which at least one tracked unit was doing arithmetic that the phase
+was actually waiting on (we approximate this with the union of COMPUTE
+intervals on the phase's units, which matches the paper's logic-
+analyzer methodology of classifying each moment by what the machine
+was doing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.trace.recorder import Activity, ActivityKind, ActivityRecorder
+
+
+def _union_duration(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total length of the union of (start, end) intervals."""
+    spans = sorted(intervals)
+    total = 0.0
+    cur_start: Optional[float] = None
+    cur_end = 0.0
+    for s, e in spans:
+        if cur_start is None:
+            cur_start, cur_end = s, e
+        elif s <= cur_end:
+            cur_end = max(cur_end, e)
+        else:
+            total += cur_end - cur_start
+            cur_start, cur_end = s, e
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total
+
+
+@dataclass
+class CriticalPathStats:
+    """Communication/total split for one phase (one Table 3 row)."""
+
+    name: str
+    total_ns: float
+    compute_ns: float
+
+    @property
+    def communication_ns(self) -> float:
+        """Total minus compute — the paper's definition."""
+        return max(0.0, self.total_ns - self.compute_ns)
+
+    @property
+    def total_us(self) -> float:
+        return self.total_ns / 1000.0
+
+    @property
+    def communication_us(self) -> float:
+        return self.communication_ns / 1000.0
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.communication_ns / self.total_ns if self.total_ns else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: comm {self.communication_us:.1f} µs / "
+            f"total {self.total_us:.1f} µs "
+            f"({100 * self.communication_fraction:.0f}% communication)"
+        )
+
+
+def communication_split(
+    recorder: ActivityRecorder,
+    name: str,
+    start_ns: float,
+    end_ns: float,
+    units: Optional[Sequence[str]] = None,
+) -> CriticalPathStats:
+    """Split a phase into compute vs communication, Table 3 style.
+
+    Parameters
+    ----------
+    recorder:
+        The activity recorder with the run's intervals.
+    name:
+        Row label.
+    start_ns, end_ns:
+        Phase boundaries (wall clock of the phase = total time).
+    units:
+        Restrict to these units (default: every recorded unit).
+
+    Notes
+    -----
+    Compute time is the union of COMPUTE intervals clipped to the
+    phase.  On Anton the computational units are busy or stalled
+    waiting for data (Fig. 13); counting the *union* of busy intervals
+    mirrors "critical-path arithmetic computation time": any instant
+    with no arithmetic anywhere on the tracked units is, by the paper's
+    subtraction, communication/latency time.
+    """
+    if end_ns < start_ns:
+        raise ValueError("phase ends before it starts")
+    unit_filter = set(units) if units is not None else None
+    compute_spans = []
+    for a in recorder.intervals(kind=ActivityKind.COMPUTE, start_ns=start_ns, end_ns=end_ns):
+        if unit_filter is not None and a.unit not in unit_filter:
+            continue
+        compute_spans.append((max(a.start_ns, start_ns), min(a.end_ns, end_ns)))
+    compute = _union_duration(compute_spans)
+    return CriticalPathStats(name=name, total_ns=end_ns - start_ns, compute_ns=compute)
+
+
+def per_node_communication_split(
+    recorder: ActivityRecorder,
+    name: str,
+    start_ns: float,
+    end_ns: float,
+) -> CriticalPathStats:
+    """Table 3 split computed per node, then averaged.
+
+    Unit names follow the ``"<node>:<unit>"`` convention used by the
+    MD orchestrator.  On a whole machine, *some* node is computing at
+    almost every instant, so a machine-wide union of compute intervals
+    would undercount communication; the paper's subtraction is per
+    critical path through one node's step, which the per-node union
+    approximates.
+    """
+    if end_ns < start_ns:
+        raise ValueError("phase ends before it starts")
+    per_node: dict[str, list[tuple[float, float]]] = {}
+    for a in recorder.intervals(kind=ActivityKind.COMPUTE, start_ns=start_ns, end_ns=end_ns):
+        node, _, _unit = a.unit.partition(":")
+        per_node.setdefault(node, []).append(
+            (max(a.start_ns, start_ns), min(a.end_ns, end_ns))
+        )
+    if not per_node:
+        return CriticalPathStats(name=name, total_ns=end_ns - start_ns, compute_ns=0.0)
+    computes = [_union_duration(spans) for spans in per_node.values()]
+    mean_compute = sum(computes) / len(computes)
+    return CriticalPathStats(
+        name=name, total_ns=end_ns - start_ns, compute_ns=mean_compute
+    )

@@ -1,0 +1,126 @@
+"""Fig. 13-style activity timelines as text and CSV.
+
+Fig. 13 shows, for two time steps, columns for the six torus-link
+directions and for each computational unit class (Tensilica cores,
+geometry cores, HTIS), with colour-coded activity and light gray for
+stall time.  The text renderer below produces the same layout with one
+character per time bucket:
+
+* ``#`` — computing,
+* ``s`` — sending, ``r`` — receiving/polling, ``b`` — bookkeeping,
+* ``.`` — stalled waiting for data (the paper's light gray),
+* ``=`` — link busy,
+* `` `` (space) — idle / no activity recorded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+from repro.trace.recorder import Activity, ActivityKind, ActivityRecorder
+
+_GLYPH = {
+    ActivityKind.COMPUTE: "#",
+    ActivityKind.SEND: "s",
+    ActivityKind.RECEIVE: "r",
+    ActivityKind.BOOKKEEPING: "b",
+    ActivityKind.WAIT: ".",
+    ActivityKind.LINK: "=",
+}
+
+#: Priority when several kinds overlap in one bucket (compute wins,
+#: stall loses — matching how Fig. 13 colours a busy-then-stalled core).
+_PRIORITY = [
+    ActivityKind.COMPUTE,
+    ActivityKind.SEND,
+    ActivityKind.RECEIVE,
+    ActivityKind.BOOKKEEPING,
+    ActivityKind.LINK,
+    ActivityKind.WAIT,
+]
+
+
+def _bucketize(
+    activities: Sequence[Activity],
+    start_ns: float,
+    end_ns: float,
+    buckets: int,
+) -> list[str]:
+    width = (end_ns - start_ns) / buckets
+    cells: list[Optional[ActivityKind]] = [None] * buckets
+    for a in activities:
+        lo = max(0, int((a.start_ns - start_ns) // width))
+        hi = min(buckets - 1, int((a.end_ns - start_ns) / width))
+        if a.end_ns <= start_ns or a.start_ns >= end_ns:
+            continue
+        for i in range(lo, hi + 1):
+            cur = cells[i]
+            if cur is None or _PRIORITY.index(a.kind) < _PRIORITY.index(cur):
+                cells[i] = a.kind
+    return [_GLYPH[c] if c is not None else " " for c in cells]
+
+
+def render_timeline(
+    recorder: ActivityRecorder,
+    start_ns: float,
+    end_ns: float,
+    units: Optional[Sequence[str]] = None,
+    buckets: int = 100,
+    group_by: Optional[dict[str, str]] = None,
+) -> str:
+    """Render a vertical-time activity chart like Fig. 13.
+
+    Parameters
+    ----------
+    units:
+        Columns, in order (default: all units, sorted).
+    buckets:
+        Vertical resolution (rows).
+    group_by:
+        Optional map from unit name to column-group name; units in one
+        group are merged into a single column (Fig. 13 merges all units
+        of the same type across the machine).
+    """
+    if units is None:
+        units = recorder.units()
+    columns: dict[str, list[Activity]] = defaultdict(list)
+    order: list[str] = []
+    for unit in units:
+        col = group_by.get(unit, unit) if group_by else unit
+        if col not in columns:
+            order.append(col)
+        columns[col].extend(recorder.intervals(unit=unit))
+    rendered = {col: _bucketize(acts, start_ns, end_ns, buckets) for col, acts in columns.items()}
+    width = max((len(c) for c in order), default=4)
+    header = " time(µs) | " + " | ".join(c.center(width) for c in order)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    span = end_ns - start_ns
+    for row in range(buckets):
+        t_us = (start_ns + row * span / buckets) / 1000.0
+        cells = " | ".join(rendered[c][row].center(width) for c in order)
+        lines.append(f"{t_us:9.2f} | {cells}")
+    lines.append(sep)
+    lines.append(
+        "legend: # compute  s send  r receive/poll  b bookkeeping  "
+        ". stalled-waiting  = link-busy"
+    )
+    return "\n".join(lines)
+
+
+def timeline_csv(
+    recorder: ActivityRecorder,
+    start_ns: float,
+    end_ns: float,
+    units: Optional[Sequence[str]] = None,
+) -> str:
+    """Raw interval dump as CSV (unit, kind, start_ns, end_ns, label)."""
+    if units is None:
+        units = recorder.units()
+    unit_set = set(units)
+    rows = ["unit,kind,start_ns,end_ns,label"]
+    for a in recorder.intervals(start_ns=start_ns, end_ns=end_ns):
+        if a.unit in unit_set:
+            rows.append(f"{a.unit},{a.kind.value},{a.start_ns:.1f},{a.end_ns:.1f},{a.label}")
+    return "\n".join(rows)

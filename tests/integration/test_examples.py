@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their results"
+
+
+def test_quickstart_reports_headline_latency():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    )
+    assert "162 ns" in proc.stdout

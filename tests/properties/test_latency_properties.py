@@ -1,0 +1,71 @@
+"""Property-based tests for the end-to-end latency model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asic import build_machine
+from repro.constants import (
+    DST_RING_NS,
+    HOP_NS,
+    LINK_COST_NS,
+    POLL_SUCCESS_NS,
+    SLICE_SEND_NS,
+    SRC_RING_NS,
+    ZERO_HOP_NS,
+)
+from repro.engine import Simulator
+from tests.conftest import run_exchange
+
+SHAPE = (4, 4, 4)
+
+
+def one_way(dst, payload=0):
+    sim = Simulator()
+    m = build_machine(sim, *SHAPE)
+    src = m.node((0, 0, 0)).slice(0)
+    rcv = m.node(dst).slice(1 if dst == (0, 0, 0) else 0)
+    return run_exchange(sim, src, rcv, payload_bytes=payload), m
+
+
+coords = st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+
+
+@given(coords)
+@settings(max_examples=25, deadline=None)
+def test_latency_is_exactly_additive_in_hops(dst):
+    """An uncontended write's latency equals the closed-form sum of the
+    calibrated segments, for *every* destination."""
+    t, m = one_way(dst)
+    hops = {
+        d: abs(v)
+        for d, v in zip("xyz", m.torus.hop_vector((0, 0, 0), dst))
+    }
+    total_hops = sum(hops.values())
+    if total_hops == 0:
+        expected = ZERO_HOP_NS
+    else:
+        # Endpoint overheads + the first link (no transit-ring cost)
+        # + full marginal cost for every remaining hop, per dimension
+        # (dimension-ordered routing: the first hop is in the first
+        # dimension with a nonzero displacement).
+        first = next(d for d in "xyz" if hops[d])
+        expected = SLICE_SEND_NS + SRC_RING_NS + DST_RING_NS + POLL_SUCCESS_NS
+        expected += LINK_COST_NS[first]
+        for d in "xyz":
+            marginal = hops[d] - (1 if d == first else 0)
+            expected += marginal * HOP_NS[d]
+    assert t == expected
+
+
+@given(coords, st.integers(0, 256))
+@settings(max_examples=25, deadline=None)
+def test_payload_latency_monotone_and_bounded(dst, payload):
+    """Bigger payloads never arrive sooner, and the payload penalty is
+    bounded by its serialization time."""
+    t0, _ = one_way(dst, 0)
+    tp, _ = one_way(dst, payload)
+    assert tp >= t0
+    from repro.constants import HEADER_BYTES, TORUS_LINK_EFFECTIVE_GBPS
+
+    max_penalty = (payload + HEADER_BYTES) * 8.0 / TORUS_LINK_EFFECTIVE_GBPS
+    assert tp - t0 <= max_penalty + 1e-9

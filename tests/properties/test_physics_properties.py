@@ -1,0 +1,79 @@
+"""Property-based tests for the MD physics kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.bonded import bond_energy_forces
+from repro.md.forcefield import ForceField
+from repro.md.longrange import LongRangeSolver, _bspline_weights
+from repro.md.rangelimited import range_limited_forces
+from repro.md.system import tiny_system
+
+
+@given(st.integers(8, 40), st.integers(0, 1000),
+       st.floats(2.0, 6.0), st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_range_limited_invariants(atoms, seed, cutoff, alpha):
+    s = tiny_system(atoms, seed=seed, box_edge=14.0)
+    ff = ForceField(cutoff=cutoff, ewald_alpha=alpha)
+    res = range_limited_forces(s, ff)
+    # Newton's third law: forces sum to zero.
+    assert np.abs(res.forces.sum(axis=0)).max() < 1e-8 * max(
+        1.0, np.abs(res.forces).max()
+    )
+    assert res.pair_count >= 0
+    assert np.isfinite(res.energy)
+    assert np.isfinite(res.forces).all()
+
+
+@given(st.integers(8, 40), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_bonded_invariants(atoms, seed):
+    s = tiny_system(atoms, seed=seed)
+    e, f = bond_energy_forces(s)
+    assert e >= 0.0  # harmonic energy is non-negative
+    assert np.abs(f.sum(axis=0)).max() < 1e-9 * max(1.0, np.abs(f).max())
+
+
+@given(st.floats(0.0, 1.0, exclude_max=True),
+       st.sampled_from([2, 4, 6]))
+@settings(max_examples=200, deadline=None)
+def test_bspline_partition_of_unity(t, order):
+    w, dw = _bspline_weights(np.array([t]), order)
+    np.testing.assert_allclose(w.sum(), 1.0, atol=1e-12)
+    np.testing.assert_allclose(dw.sum(), 0.0, atol=1e-12)
+    assert (w >= -1e-12).all()
+
+
+@given(st.integers(6, 30), st.integers(0, 500), st.sampled_from([8, 12, 16]))
+@settings(max_examples=25, deadline=None)
+def test_grid_charge_conservation(atoms, seed, grid):
+    s = tiny_system(atoms, seed=seed, box_edge=12.0)
+    solver = LongRangeSolver(grid_points=grid, spread_width=4)
+    g, _pts, _w = solver.spread_charges(s)
+    np.testing.assert_allclose(g.sum(), s.charges.sum(), atol=1e-12)
+
+
+@given(st.integers(6, 24), st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_reciprocal_energy_nonnegative(atoms, seed):
+    s = tiny_system(atoms, seed=seed, box_edge=12.0)
+    ff = ForceField(cutoff=4.0, ewald_alpha=0.4)
+    res = LongRangeSolver(grid_points=12).solve(s, ff)
+    assert res.energy >= -1e-9
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=15, deadline=None)
+def test_translation_invariance_of_forces(seed):
+    """Rigidly translating the whole system leaves range-limited and
+    bonded forces unchanged (periodic boundary conditions)."""
+    s = tiny_system(20, seed=seed, box_edge=12.0)
+    ff = ForceField(cutoff=4.0, ewald_alpha=0.3)
+    f0 = range_limited_forces(s, ff).forces + bond_energy_forces(s)[1]
+    shifted = s.copy()
+    shifted.positions += np.array([3.7, -2.1, 8.9])
+    shifted.wrap()
+    f1 = range_limited_forces(shifted, ff).forces + bond_energy_forces(shifted)[1]
+    np.testing.assert_allclose(f0, f1, atol=1e-8)

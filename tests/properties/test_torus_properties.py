@@ -1,0 +1,74 @@
+"""Property-based tests for the torus topology."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Torus3D
+
+shapes = st.tuples(
+    st.integers(1, 9), st.integers(1, 9), st.integers(1, 9)
+)
+
+
+def coords_for(shape):
+    return st.tuples(
+        st.integers(0, shape[0] - 1),
+        st.integers(0, shape[1] - 1),
+        st.integers(0, shape[2] - 1),
+    )
+
+
+@given(shapes, st.data())
+@settings(max_examples=120, deadline=None)
+def test_hops_is_a_metric(shape, data):
+    t = Torus3D(*shape)
+    a = t.coord(data.draw(coords_for(shape)))
+    b = t.coord(data.draw(coords_for(shape)))
+    c = t.coord(data.draw(coords_for(shape)))
+    # Identity, symmetry, triangle inequality.
+    assert t.hops(a, a) == 0
+    assert t.hops(a, b) == t.hops(b, a)
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+    assert t.hops(a, b) <= t.max_hops()
+
+
+@given(shapes, st.data())
+@settings(max_examples=120, deadline=None)
+def test_route_walks_exactly_to_destination(shape, data):
+    t = Torus3D(*shape)
+    a = t.coord(data.draw(coords_for(shape)))
+    b = t.coord(data.draw(coords_for(shape)))
+    path = t.path_nodes(a, b)
+    assert path[0] == a and path[-1] == b
+    assert len(path) - 1 == t.hops(a, b)
+    # Every step is a face neighbour (or identical on degenerate axes).
+    for u, v in zip(path, path[1:]):
+        assert v in t.face_neighbors(u) or u == v
+
+
+@given(shapes, st.data())
+@settings(max_examples=100, deadline=None)
+def test_rank_bijection(shape, data):
+    t = Torus3D(*shape)
+    c = t.coord(data.draw(coords_for(shape)))
+    assert t.coord(t.rank(c)) == c
+
+
+@given(shapes, st.data())
+@settings(max_examples=100, deadline=None)
+def test_hop_vector_components_bounded(shape, data):
+    t = Torus3D(*shape)
+    a = t.coord(data.draw(coords_for(shape)))
+    b = t.coord(data.draw(coords_for(shape)))
+    hv = t.hop_vector(a, b)
+    for d, n in zip(hv, shape):
+        assert abs(d) <= n // 2
+
+
+@given(shapes, st.data())
+@settings(max_examples=60, deadline=None)
+def test_moore_neighborhood_symmetric(shape, data):
+    t = Torus3D(*shape)
+    a = t.coord(data.draw(coords_for(shape)))
+    for b in t.moore_neighbors(a):
+        assert a in t.moore_neighbors(b)

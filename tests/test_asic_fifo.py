@@ -1,0 +1,85 @@
+"""Unit tests for the hardware message FIFO (§III.C)."""
+
+import pytest
+
+from repro.asic import MessageFifo
+from repro.network.packet import FifoPacket
+from repro.topology import NodeCoord
+
+A, B = NodeCoord(0, 0, 0), NodeCoord(1, 0, 0)
+
+
+def pkt(i=0):
+    return FifoPacket(
+        src_node=A, src_client="slice0", dst_node=B, dst_client="slice0",
+        payload=i, payload_bytes=8,
+    )
+
+
+def test_fifo_order_preserved(sim):
+    f = MessageFifo(sim, capacity=8)
+    for i in range(5):
+        f.push(pkt(i))
+    out = [f.try_poll().payload for _ in range(5)]
+    assert out == [0, 1, 2, 3, 4]
+    assert f.try_poll() is None
+
+
+def test_blocking_poll(sim):
+    f = MessageFifo(sim, capacity=4)
+    got = []
+
+    def consumer():
+        ev = f.poll()
+        p = yield ev
+        got.append((sim.now, p.payload))
+
+    sim.process(consumer())
+    sim.schedule(50.0, f.push, pkt(7))
+    sim.run()
+    assert got == [(50.0, 7)]
+
+
+def test_backpressure_overflow_and_drain(sim):
+    f = MessageFifo(sim, capacity=2)
+    for i in range(5):
+        f.push(pkt(i))
+    assert f.occupancy == 2
+    assert f.backpressure_stalls == 3
+    out = []
+    while (p := f.try_poll()) is not None:
+        out.append(p.payload)
+    assert out == [0, 1, 2, 3, 4]  # parked packets admitted in order
+
+
+def test_high_watermark(sim):
+    f = MessageFifo(sim, capacity=8)
+    for i in range(6):
+        f.push(pkt(i))
+    f.try_poll()
+    assert f.high_watermark == 6
+
+
+def test_cancel_withdraws_waiter(sim):
+    f = MessageFifo(sim, capacity=4)
+    ev = f.poll()
+    f.cancel(ev)
+    f.push(pkt(1))
+    # The cancelled waiter must not have consumed the message.
+    assert not ev.triggered
+    assert f.try_poll().payload == 1
+
+
+def test_counters(sim):
+    f = MessageFifo(sim, capacity=4)
+    f.push(pkt())
+    f.push(pkt())
+    f.try_poll()
+    assert f.total_received == 2
+    assert f.total_consumed == 1
+    assert len(f) == 1
+
+
+def test_capacity_validation(sim):
+    with pytest.raises(ValueError):
+        MessageFifo(sim, capacity=0)

@@ -1,0 +1,69 @@
+"""Unit tests for pre-allocated local memories."""
+
+import pytest
+
+from repro.asic.memory import LocalMemory
+
+
+def test_allocate_and_write_read():
+    mem = LocalMemory("test")
+    mem.allocate("buf", 4)
+    mem.write(("buf", 2), "hello")
+    assert mem.read(("buf", 2)) == "hello"
+    assert mem.read(("buf", 0)) is None
+
+
+def test_double_allocation_rejected():
+    """Fixed patterns require fixed addresses (§IV.A): re-allocating an
+    existing buffer is an error."""
+    mem = LocalMemory()
+    mem.allocate("buf", 1)
+    with pytest.raises(ValueError, match="already allocated"):
+        mem.allocate("buf", 2)
+
+
+def test_write_to_unallocated_buffer_rejected():
+    mem = LocalMemory("slice0")
+    with pytest.raises(KeyError, match="pre-allocated"):
+        mem.write(("ghost", 0), 1)
+
+
+def test_out_of_bounds_write_rejected():
+    mem = LocalMemory()
+    mem.allocate("buf", 2)
+    with pytest.raises(IndexError):
+        mem.write(("buf", 2), 1)
+    with pytest.raises(IndexError):
+        mem.write(("buf", -1), 1)
+
+
+def test_zero_slot_buffer_rejected():
+    mem = LocalMemory()
+    with pytest.raises(ValueError):
+        mem.allocate("empty", 0)
+
+
+def test_filled_skips_unwritten_slots():
+    mem = LocalMemory()
+    buf = mem.allocate("buf", 5)
+    buf.write(1, "a")
+    buf.write(3, "b")
+    assert buf.filled() == ["a", "b"]
+    assert buf.writes == 2
+
+
+def test_clear_resets_slots_for_reuse():
+    mem = LocalMemory()
+    buf = mem.allocate("buf", 2)
+    buf.write(0, 1)
+    buf.clear()
+    assert buf.filled() == []
+    assert buf.writes == 1  # statistics stay cumulative
+
+
+def test_contains_and_has_buffer():
+    mem = LocalMemory()
+    mem.allocate("x", 1)
+    assert "x" in mem
+    assert mem.has_buffer("x")
+    assert "y" not in mem

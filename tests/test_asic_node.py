@@ -1,0 +1,58 @@
+"""Unit tests for node/machine construction."""
+
+import pytest
+
+from repro.asic import build_machine
+from repro.engine import Simulator
+from repro.topology import NodeCoord
+
+
+def test_machine_has_all_nodes(sim):
+    m = build_machine(sim, 3, 2, 4)
+    assert len(m) == 24
+    assert len(list(m)) == 24
+
+
+def test_node_has_seven_clients(machine222):
+    node = machine222.node((0, 0, 0))
+    clients = node.clients()
+    assert len(clients) == 7
+    names = {c.name for c in clients}
+    assert names == {"slice0", "slice1", "slice2", "slice3", "htis",
+                     "accum0", "accum1"}
+
+
+def test_clients_attached_to_network(machine222):
+    net = machine222.network
+    for coord in machine222.torus.nodes():
+        for name in ("slice0", "htis", "accum1"):
+            client = net.client(coord, name)
+            assert client.node == coord
+
+
+def test_unknown_client_lookup(machine222):
+    with pytest.raises(KeyError, match="no client"):
+        machine222.network.client((0, 0, 0), "gpu")
+
+
+def test_duplicate_attach_rejected(sim, machine222):
+    from repro.asic.slice_ import ProcessingSlice
+
+    with pytest.raises(ValueError, match="already attached"):
+        ProcessingSlice(sim, machine222.network, (0, 0, 0), 0)
+
+
+def test_node_rank(machine222):
+    assert machine222.node((0, 0, 0)).rank == 0
+    assert machine222.node((1, 1, 1)).rank == 7
+
+
+def test_htis_throughput_override(sim):
+    m = build_machine(sim, 2, 1, 1, htis_pairs_per_ns=10.0)
+    assert m.node(0).htis.pairs_per_ns == 10.0
+
+
+def test_machine_lookup_by_rank_and_tuple(machine444):
+    by_rank = machine444.node(17)
+    by_tuple = machine444.node(machine444.torus.coord(17))
+    assert by_rank is by_tuple

@@ -1,0 +1,84 @@
+"""Unit tests for synchronization counters."""
+
+import pytest
+
+from repro.asic import SyncCounter
+
+
+def test_increment_and_count(sim):
+    c = SyncCounter(sim)
+    c.increment()
+    c.increment(3)
+    assert c.count == 4
+    assert c.total_increments == 4
+
+
+def test_increment_must_be_positive(sim):
+    c = SyncCounter(sim)
+    with pytest.raises(ValueError):
+        c.increment(0)
+
+
+def test_wait_for_fires_at_threshold(sim):
+    c = SyncCounter(sim)
+    ev = c.wait_for(3)
+    c.increment(2)
+    assert not ev.triggered
+    c.increment()
+    assert ev.triggered
+
+
+def test_wait_for_already_reached(sim):
+    c = SyncCounter(sim)
+    c.increment(5)
+    assert c.wait_for(5).triggered
+    assert c.wait_for(2).triggered
+
+
+def test_waiters_share_one_event(sim):
+    c = SyncCounter(sim)
+    assert c.wait_for(4) is c.wait_for(4)
+
+
+def test_multiple_thresholds_fire_in_order(sim):
+    c = SyncCounter(sim)
+    fired = []
+    for target in (2, 5, 3):
+        c.wait_for(target).add_callback(lambda e, t=target: fired.append(t))
+    c.increment(5)
+    sim.run()
+    assert fired == [2, 3, 5]
+
+
+def test_negative_target_rejected(sim):
+    c = SyncCounter(sim)
+    with pytest.raises(ValueError):
+        c.wait_for(-1)
+
+
+def test_reset_for_reuse(sim):
+    c = SyncCounter(sim)
+    c.increment(7)
+    c.reset()
+    assert c.count == 0
+    assert c.epoch == 1
+    ev = c.wait_for(1)
+    c.increment()
+    assert ev.triggered
+
+
+def test_reset_with_pending_waiters_raises(sim):
+    """Resetting while a phase still expects packets is a software bug
+    the model surfaces immediately."""
+    c = SyncCounter(sim)
+    c.wait_for(10)
+    with pytest.raises(RuntimeError, match="waiters pending"):
+        c.reset()
+
+
+def test_overshoot_counts_are_kept(sim):
+    c = SyncCounter(sim)
+    ev = c.wait_for(2)
+    c.increment(10)
+    assert ev.triggered
+    assert c.count == 10

@@ -1,0 +1,64 @@
+"""Unit tests for the Desmond/cluster MD timing model (Table 3)."""
+
+import pytest
+
+from repro.baselines.desmond import DesmondModel, DesmondWorkload
+from repro.constants import PAPER_TABLE3_US
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return DesmondModel().table3()
+
+
+def test_workload_geometry():
+    w = DesmondWorkload()
+    assert w.node_grid == 8
+    assert w.atoms_per_node == pytest.approx(46.0, rel=0.01)
+    # Midpoint import ≈ several hundred atoms per node.
+    assert 500 < w.import_atoms < 1200
+    # ~20k range-limited pairs per node per step at this scaling.
+    assert 15_000 < w.pairs_per_node < 25_000
+    assert w.grid_points_per_node == 64
+
+
+def test_non_cubic_node_count_rejected():
+    with pytest.raises(ValueError):
+        DesmondWorkload(num_nodes=100).node_grid
+
+
+@pytest.mark.parametrize("row", list(PAPER_TABLE3_US))
+def test_rows_within_30_percent_of_paper(table3, row):
+    """Every Desmond row of Table 3 must land within 30% of the paper,
+    for both communication and total time."""
+    paper_comm, paper_total = PAPER_TABLE3_US[row]["desmond"]
+    t = table3[row]
+    assert t.communication_us == pytest.approx(paper_comm, rel=0.30)
+    assert t.total_us == pytest.approx(paper_total, rel=0.30)
+
+
+def test_average_is_mix_of_step_kinds(table3):
+    rl, lr, avg = (
+        table3["range_limited"], table3["long_range"], table3["average"]
+    )
+    assert avg.total_ns == pytest.approx((rl.total_ns + lr.total_ns) / 2)
+
+
+def test_fft_dominates_long_range_comm(table3):
+    """The FFT convolution is the most expensive communication step on
+    the cluster, as in the paper."""
+    assert table3["fft_convolution"].communication_ns > 0.4 * (
+        table3["long_range"].communication_ns
+    )
+
+
+def test_comm_fraction_is_cluster_like(table3):
+    """Desmond at 512 nodes is deep in the strong-scaling regime:
+    communication is roughly half the step (262/565 in the paper)."""
+    avg = table3["average"]
+    assert 0.30 < avg.communication_ns / avg.total_ns < 0.60
+
+
+def test_compute_time_positive(table3):
+    for t in table3.values():
+        assert t.compute_ns > 0

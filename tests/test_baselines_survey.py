@@ -1,0 +1,43 @@
+"""Unit tests for the Table 1 latency survey."""
+
+from repro.baselines.survey import SURVEY, anton_advantage, survey_table
+
+
+def test_survey_has_all_sixteen_rows():
+    assert len(SURVEY) == 16
+    machines = [e.machine for e in SURVEY]
+    assert machines[0] == "Anton"
+    assert "Blue Gene/L" in machines
+    assert "Cray T3E" in machines
+
+
+def test_anton_is_fastest():
+    anton = next(e for e in SURVEY if e.machine == "Anton")
+    assert all(e.latency_us >= anton.latency_us for e in SURVEY)
+    assert anton.latency_us == 0.16
+
+
+def test_fastest_non_anton_is_altix():
+    """The paper: the fastest previously published measurement is
+    1.25 µs (SGI Altix 3700 BX2)."""
+    non_anton = min(
+        (e for e in SURVEY if e.machine != "Anton"), key=lambda e: e.latency_us
+    )
+    assert non_anton.machine == "Altix 3700 BX2"
+    assert non_anton.latency_us == 1.25
+
+
+def test_anton_advantage_about_8x():
+    assert 7.0 < anton_advantage() < 8.5
+
+
+def test_survey_table_renders_all_rows():
+    text = survey_table()
+    for e in SURVEY:
+        assert e.machine in text
+
+
+def test_survey_table_with_measured_value():
+    text = survey_table(measured_anton_us=0.162)
+    assert "Anton (simulated)" in text
+    assert "0.16" in text

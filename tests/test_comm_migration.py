@@ -1,0 +1,83 @@
+"""Unit tests for the migration protocol (§IV.B.5)."""
+
+import pytest
+
+from repro.asic import build_machine
+from repro.comm import MigrationProtocol
+from repro.engine import Simulator
+from repro.topology import NodeCoord
+
+
+def test_empty_migration_measures_sync_cost(sim, machine222):
+    mig = MigrationProtocol(machine222)
+    r = mig.run()
+    assert r.messages_sent == 0
+    assert r.messages_received == 0
+    # The pure synchronization (flush multicast + drain) costs well
+    # under a couple of microseconds; the paper measures 0.56 µs.
+    assert 0.2 < r.elapsed_us < 2.0
+
+
+def test_payloads_arrive_at_destinations(sim, machine222):
+    mig = MigrationProtocol(machine222)
+    torus = machine222.torus
+    moves = {
+        torus.coord((0, 0, 0)): [(torus.coord((1, 0, 0)), "atom-a"),
+                                 (torus.coord((0, 1, 0)), "atom-b")],
+        torus.coord((1, 1, 1)): [(torus.coord((0, 1, 1)), "atom-c")],
+    }
+    r = mig.run(moves)
+    assert r.messages_sent == 3
+    assert r.received_payloads[torus.coord((1, 0, 0))] == ["atom-a"]
+    assert r.received_payloads[torus.coord((0, 1, 0))] == ["atom-b"]
+    assert r.received_payloads[torus.coord((0, 1, 1))] == ["atom-c"]
+
+
+def test_non_neighbor_move_rejected(sim):
+    m = build_machine(sim, 4, 4, 4)
+    mig = MigrationProtocol(m)
+    torus = m.torus
+    with pytest.raises(ValueError, match="nearest"):
+        mig.run({torus.coord((0, 0, 0)): [(torus.coord((2, 0, 0)), "far")]})
+
+
+def test_protocol_correct_under_reordering():
+    """With reorder jitter on, the in-order flush must still never
+    overtake migration messages — no message may be lost."""
+    for seed in range(3):
+        sim = Simulator()
+        m = build_machine(sim, 3, 3, 3, reorder_jitter_ns=300.0, seed=seed)
+        mig = MigrationProtocol(m)
+        torus = m.torus
+        moves = {}
+        for c in torus.nodes():
+            neigh = torus.moore_neighbors(c)
+            moves[c] = [(neigh[i % len(neigh)], f"{c}-{i}") for i in range(4)]
+        r = mig.run(moves)
+        assert r.messages_received == r.messages_sent == 4 * 27
+
+
+def test_migration_reusable(sim, machine222):
+    mig = MigrationProtocol(machine222)
+    torus = machine222.torus
+    r1 = mig.run()
+    r2 = mig.run({torus.coord((0, 0, 0)): [(torus.coord((1, 0, 0)), 1)]})
+    assert r2.messages_received == 1
+
+
+def test_fifo_watermark_reported(sim, machine222):
+    mig = MigrationProtocol(machine222)
+    torus = machine222.torus
+    src = torus.coord((0, 0, 0))
+    dst = torus.coord((1, 0, 0))
+    r = mig.run({src: [(dst, i) for i in range(10)]})
+    assert r.fifo_high_watermark >= 1
+
+
+def test_512_node_sync_near_paper():
+    """Empty migration on the full 8×8×8 machine: the flush
+    synchronization should land near the paper's 0.56 µs."""
+    sim = Simulator()
+    m = build_machine(sim, 8, 8, 8)
+    r = MigrationProtocol(m).run()
+    assert r.elapsed_us == pytest.approx(0.56, rel=0.5)

@@ -1,0 +1,80 @@
+"""Unit tests for the fixed-pattern registry (§IV.A)."""
+
+import pytest
+
+from repro.comm import GatherSource
+from repro.comm.patterns import PatternRegistry
+
+
+def test_register_and_get_gather(machine222):
+    reg = PatternRegistry(machine222.network)
+    target = machine222.node((0, 0, 0)).slice(0)
+    src = GatherSource(machine222.torus.coord((1, 0, 0)), "slice0", 2)
+    p = reg.register_gather("positions", target, [src])
+    assert reg.get("positions") is p
+    assert p.gather.expected == 2
+    assert len(reg) == 1
+
+
+def test_register_multicast(machine222):
+    reg = PatternRegistry(machine222.network)
+    p = reg.register_multicast("bcast", (0, 0, 0), {(1, 0, 0): ["htis"]})
+    assert p.multicast is not None
+    assert p.multicast.pattern_id >= 0
+
+
+def test_unknown_pattern_raises_helpfully(machine222):
+    reg = PatternRegistry(machine222.network)
+    with pytest.raises(KeyError, match="never established"):
+        reg.get("ghost")
+
+
+def test_duplicate_name_rejected(machine222):
+    reg = PatternRegistry(machine222.network)
+    target = machine222.node((0, 0, 0)).slice(0)
+    src = GatherSource(machine222.torus.coord((1, 0, 0)), "slice0", 1)
+    reg.register_gather("p", target, [src])
+    with pytest.raises(ValueError, match="already registered"):
+        reg.register_multicast("p", (0, 0, 0), {(1, 0, 0): ["htis"]})
+
+
+def test_freeze_blocks_new_patterns(machine222):
+    reg = PatternRegistry(machine222.network)
+    reg.freeze()
+    with pytest.raises(RuntimeError, match="frozen"):
+        reg.register_multicast("late", (0, 0, 0), {(1, 0, 0): ["htis"]})
+
+
+def test_reopen_bumps_generations(machine222):
+    reg = PatternRegistry(machine222.network)
+    target = machine222.node((0, 0, 0)).slice(0)
+    src = GatherSource(machine222.torus.coord((1, 0, 0)), "slice0", 1)
+    p = reg.register_gather("bonds", target, [src])
+    reg.freeze()
+    reg.reopen()
+    assert reg.get("bonds").generation == 1
+
+
+def test_replace_gather_uses_fresh_buffer(machine222):
+    """Regeneration installs a new gather under the same logical name;
+    the old receive buffer is never re-addressed."""
+    reg = PatternRegistry(machine222.network)
+    target = machine222.node((0, 0, 0)).slice(0)
+    src1 = GatherSource(machine222.torus.coord((1, 0, 0)), "slice0", 1)
+    src2 = GatherSource(machine222.torus.coord((0, 1, 0)), "slice0", 3)
+    reg.register_gather("bonds", target, [src1])
+    p2 = reg.replace_gather("bonds", target, [src2], buffer_suffix="-g1")
+    assert p2.generation == 1
+    assert p2.gather.expected == 3
+    assert target.memory.has_buffer("bonds")
+    assert target.memory.has_buffer("bonds-g1")
+
+
+def test_replace_while_frozen_rejected(machine222):
+    reg = PatternRegistry(machine222.network)
+    target = machine222.node((0, 0, 0)).slice(0)
+    src = GatherSource(machine222.torus.coord((1, 0, 0)), "slice0", 1)
+    reg.register_gather("bonds", target, [src])
+    reg.freeze()
+    with pytest.raises(RuntimeError):
+        reg.replace_gather("bonds", target, [src], buffer_suffix="-g1")

@@ -1,0 +1,69 @@
+"""Consistency tests for the calibrated constants (DESIGN.md §3)."""
+
+import pytest
+
+from repro import constants as C
+
+
+def test_headline_sum():
+    """Fig. 6's components must sum to the 162 ns headline."""
+    assert C.ONE_HOP_X_NS == pytest.approx(162.0)
+    assert (
+        C.SLICE_SEND_NS + C.SRC_RING_NS + 2 * C.LINK_ADAPTER_NS
+        + C.DST_RING_NS + C.POLL_SUCCESS_NS
+    ) == pytest.approx(162.0)
+
+
+def test_hop_cost_decomposition():
+    """Marginal hop cost = link crossing + transit-ring crossing."""
+    for d in ("x", "y", "z"):
+        assert C.LINK_COST_NS[d] + C.THROUGH_RING_NS[d] == pytest.approx(
+            C.HOP_NS[d]
+        )
+        assert C.THROUGH_RING_NS[d] > 0
+
+
+def test_fig5_slopes():
+    assert C.HOP_NS["x"] == 76.0
+    assert C.HOP_NS["y"] == C.HOP_NS["z"] == 54.0
+
+
+def test_wire_delays_ordered():
+    """X wires shortest, Z longest (Fig. 6 caption)."""
+    assert C.WIRE_NS["x"] < C.WIRE_NS["y"] < C.WIRE_NS["z"]
+
+
+def test_bandwidths():
+    assert C.TORUS_LINK_RAW_GBPS == 50.6
+    assert C.TORUS_LINK_EFFECTIVE_GBPS == 36.8
+    assert C.ONCHIP_RING_GBPS == 124.2
+    assert C.TORUS_LINK_EFFECTIVE_GBPS < C.TORUS_LINK_RAW_GBPS
+
+
+def test_accum_poll_slower_than_local():
+    assert C.ACCUM_POLL_NS > C.POLL_SUCCESS_NS
+
+
+def test_packet_format():
+    assert C.HEADER_BYTES == 32
+    assert C.MAX_PAYLOAD_BYTES == 256
+    assert C.INLINE_PAYLOAD_BYTES == 8
+
+
+def test_paper_tables_complete():
+    assert len(C.PAPER_TABLE2_US) == 5
+    assert set(C.PAPER_TABLE3_US) == {
+        "average", "range_limited", "long_range", "fft_convolution",
+        "thermostat",
+    }
+    for row in C.PAPER_TABLE3_US.values():
+        for machine in ("anton", "desmond"):
+            comm, total = row[machine]
+            assert comm <= total
+
+
+def test_headline_ratio_27x():
+    """Table 3: Anton's average communication is ~1/27 of Desmond's."""
+    anton = C.PAPER_TABLE3_US["average"]["anton"][0]
+    desmond = C.PAPER_TABLE3_US["average"]["desmond"][0]
+    assert desmond / anton == pytest.approx(26.7, rel=0.02)

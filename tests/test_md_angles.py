@@ -1,0 +1,153 @@
+"""Unit tests for harmonic angle terms (and their machine mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.md.bonded import angle_energy_forces, bonded_energy_forces
+from repro.md.system import ChemicalSystem, bulk_water, synthetic_dhfr
+
+
+def three_atom_system(theta_deg, theta0_deg=104.5, k=55.0):
+    """i—j—k bend in the xy plane, vertex at the origin-ish."""
+    t = np.deg2rad(theta_deg)
+    positions = np.array([
+        [6.0, 5.0, 5.0],                                # i along +x
+        [5.0, 5.0, 5.0],                                # vertex j
+        [5.0 + np.cos(t), 5.0 + np.sin(t), 5.0],        # k at angle θ
+    ])
+    return ChemicalSystem(
+        positions=positions,
+        velocities=np.zeros((3, 3)),
+        masses=np.ones(3),
+        charges=np.zeros(3),
+        lj_epsilon=np.zeros(3),
+        lj_sigma=np.ones(3),
+        bonds=np.array([[0, 1], [1, 2]]),
+        bond_r0=np.ones(2),
+        bond_k=np.zeros(2),
+        box_edge=20.0,
+        angles=np.array([[0, 1, 2]]),
+        angle_theta0=np.array([np.deg2rad(theta0_deg)]),
+        angle_k=np.array([k]),
+    )
+
+
+def test_energy_zero_at_equilibrium():
+    s = three_atom_system(104.5)
+    e, f = angle_energy_forces(s)
+    assert e == pytest.approx(0.0, abs=1e-20)
+    np.testing.assert_allclose(f, 0.0, atol=1e-10)
+
+
+def test_harmonic_energy_value():
+    s = three_atom_system(120.0, theta0_deg=104.5, k=55.0)
+    e, _ = angle_energy_forces(s)
+    expected = 55.0 * (np.deg2rad(120.0) - np.deg2rad(104.5)) ** 2
+    assert e == pytest.approx(expected, rel=1e-10)
+
+
+def test_forces_sum_to_zero():
+    s = three_atom_system(130.0)
+    _e, f = angle_energy_forces(s)
+    np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+
+def test_force_matches_numerical_gradient():
+    rng = np.random.default_rng(3)
+    s = bulk_water(8, seed=4)
+    s.positions += rng.normal(scale=0.12, size=s.positions.shape)
+    _e, f = angle_energy_forces(s)
+    h = 1e-6
+    for atom in (0, 1, 2, 5):
+        for ax in range(3):
+            p, m = s.copy(), s.copy()
+            p.positions[atom, ax] += h
+            m.positions[atom, ax] -= h
+            grad = (angle_energy_forces(p)[0] - angle_energy_forces(m)[0]) / (2 * h)
+            assert f[atom, ax] == pytest.approx(-grad, rel=1e-4, abs=1e-6)
+
+
+def test_restoring_direction():
+    """The angle force always reduces the angle energy: stepping atoms
+    along the force must lower E whether the angle is opened or
+    pinched."""
+    for theta in (140.0, 70.0):
+        s = three_atom_system(theta)
+        e0, f = angle_energy_forces(s)
+        stepped = s.copy()
+        stepped.positions += 1e-4 * f
+        e1, _ = angle_energy_forces(stepped)
+        assert e1 < e0
+
+
+def test_subset_evaluation_partitions_total():
+    s = bulk_water(16, seed=5)
+    s.positions += np.random.default_rng(0).normal(scale=0.1, size=s.positions.shape)
+    e_all, f_all = angle_energy_forces(s)
+    half = s.num_angles // 2
+    e1, f1 = angle_energy_forces(s, subset=np.arange(half))
+    e2, f2 = angle_energy_forces(s, subset=np.arange(half, s.num_angles))
+    assert e1 + e2 == pytest.approx(e_all)
+    np.testing.assert_allclose(f1 + f2, f_all, atol=1e-12)
+
+
+def test_bonded_combines_bonds_and_angles():
+    s = bulk_water(8, seed=6)
+    s.positions += np.random.default_rng(1).normal(scale=0.1, size=s.positions.shape)
+    from repro.md.bonded import bond_energy_forces
+
+    e, f = bonded_energy_forces(s)
+    eb, fb = bond_energy_forces(s)
+    ea, fa = angle_energy_forces(s)
+    assert e == pytest.approx(eb + ea)
+    np.testing.assert_allclose(f, fb + fa, atol=1e-12)
+
+
+def test_angles_in_bond_program_and_machine():
+    """Angle terms flow through the bond program and the machine's
+    payload mode: distributed forces still match the serial kernels."""
+    from repro.md.forcefield import ForceField
+    from repro.md.machine import AntonMD
+    from repro.md.rangelimited import range_limited_forces
+
+    system = bulk_water(24, seed=7)
+    ff = ForceField(cutoff=4.0, ewald_alpha=0.3)
+    md = AntonMD(system, (2, 2, 2), ff=ff, payload_mode=True, slack=0.5)
+    assert md.bond_program.num_terms == system.num_bonds + system.num_angles
+    md.run_step("range_limited")
+    ref = range_limited_forces(system, ff).forces + bonded_energy_forces(system)[1]
+    err = np.abs(md.collected_forces - ref).max()
+    assert err < 1e-9 * max(1.0, np.abs(ref).max())
+
+
+def test_angle_nve_energy_conservation():
+    from repro.md.forcefield import ForceField
+    from repro.md.integrator import Integrator
+
+    s = bulk_water(16, seed=8)
+    ff = ForceField(cutoff=3.8, ewald_alpha=0.35)
+    reports = Integrator(ff, dt=0.0004).run(s, 50)
+    totals = [r.total for r in reports]
+    drift = (max(totals) - min(totals)) / abs(np.mean(totals))
+    assert drift < 2e-3
+
+
+def test_dhfr_has_realistic_angle_density():
+    d = synthetic_dhfr(atoms=1200)
+    # One angle per water molecule plus protein chain angles.
+    assert d.num_angles > d.num_atoms / 4
+    assert d.num_bonded_terms == d.num_bonds + d.num_angles
+
+
+def test_validation_of_angle_arrays():
+    s = three_atom_system(104.5)
+    with pytest.raises(ValueError, match="angle index"):
+        ChemicalSystem(
+            positions=s.positions, velocities=s.velocities, masses=s.masses,
+            charges=s.charges, lj_epsilon=s.lj_epsilon, lj_sigma=s.lj_sigma,
+            bonds=s.bonds, bond_r0=s.bond_r0, bond_k=s.bond_k,
+            box_edge=s.box_edge,
+            angles=np.array([[0, 1, 9]]),
+            angle_theta0=np.array([1.0]),
+            angle_k=np.array([1.0]),
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for bonded forces."""
+
+import numpy as np
+import pytest
+
+from repro.md.bonded import bond_energy_forces, bond_lengths
+from repro.md.system import ChemicalSystem, tiny_system
+
+
+def two_atom_system(r, r0=1.5, k=100.0, box=20.0):
+    positions = np.array([[5.0, 5.0, 5.0], [5.0 + r, 5.0, 5.0]])
+    return ChemicalSystem(
+        positions=positions,
+        velocities=np.zeros((2, 3)),
+        masses=np.ones(2),
+        charges=np.zeros(2),
+        lj_epsilon=np.zeros(2),
+        lj_sigma=np.ones(2),
+        bonds=np.array([[0, 1]]),
+        bond_r0=np.array([r0]),
+        bond_k=np.array([k]),
+        box_edge=box,
+    )
+
+
+def test_energy_at_equilibrium_is_zero():
+    s = two_atom_system(r=1.5)
+    e, f = bond_energy_forces(s)
+    assert e == pytest.approx(0.0)
+    np.testing.assert_allclose(f, 0.0, atol=1e-12)
+
+
+def test_harmonic_energy_and_restoring_force():
+    s = two_atom_system(r=2.0, r0=1.5, k=100.0)
+    e, f = bond_energy_forces(s)
+    assert e == pytest.approx(100.0 * 0.5 ** 2)
+    # Stretched: atoms pull toward each other.
+    assert f[0, 0] > 0 and f[1, 0] < 0
+    np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+
+def test_compressed_bond_pushes_apart():
+    s = two_atom_system(r=1.0, r0=1.5)
+    _e, f = bond_energy_forces(s)
+    assert f[0, 0] < 0 and f[1, 0] > 0
+
+
+def test_force_matches_numerical_gradient():
+    s = two_atom_system(r=1.8)
+    _e, f = bond_energy_forces(s)
+    h = 1e-7
+    p, m = s.copy(), s.copy()
+    p.positions[0, 0] += h
+    m.positions[0, 0] -= h
+    grad = (bond_energy_forces(p)[0] - bond_energy_forces(m)[0]) / (2 * h)
+    assert f[0, 0] == pytest.approx(-grad, rel=1e-5)
+
+
+def test_bond_across_periodic_boundary():
+    s = two_atom_system(r=1.5, box=10.0)
+    s.positions[0] = [0.2, 5.0, 5.0]
+    s.positions[1] = [9.8, 5.0, 5.0]  # 0.4 apart through the boundary
+    s.bond_r0[0] = 0.4
+    e, _f = bond_energy_forces(s)
+    assert e == pytest.approx(0.0, abs=1e-10)
+    assert bond_lengths(s)[0] == pytest.approx(0.4)
+
+
+def test_subset_evaluation_partitions_total():
+    s = tiny_system(32)
+    e_all, f_all = bond_energy_forces(s)
+    n = s.num_bonds
+    half1 = np.arange(n // 2)
+    half2 = np.arange(n // 2, n)
+    e1, f1 = bond_energy_forces(s, subset=half1)
+    e2, f2 = bond_energy_forces(s, subset=half2)
+    assert e1 + e2 == pytest.approx(e_all)
+    np.testing.assert_allclose(f1 + f2, f_all, atol=1e-12)
+
+
+def test_no_bonds_is_noop():
+    s = tiny_system(8)
+    s2 = ChemicalSystem(
+        positions=s.positions, velocities=s.velocities, masses=s.masses,
+        charges=s.charges, lj_epsilon=s.lj_epsilon, lj_sigma=s.lj_sigma,
+        bonds=np.empty((0, 2), dtype=np.int64), bond_r0=np.empty(0),
+        bond_k=np.empty(0), box_edge=s.box_edge,
+    )
+    e, f = bond_energy_forces(s2)
+    assert e == 0.0
+    assert bond_lengths(s2).size == 0

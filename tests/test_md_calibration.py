@@ -1,0 +1,64 @@
+"""Unit tests for the Anton compute-calibration constants."""
+
+import pytest
+
+from repro.md.calibration import DEFAULT_CALIBRATION, AntonCalibration
+
+
+def test_defaults_are_positive():
+    c = DEFAULT_CALIBRATION
+    for field in (
+        "htis_pairs_per_ns", "htis_spread_ops_per_ns", "gc_ns_per_bond_term",
+        "gc_ns_per_atom_update", "gc_ns_per_fft_point",
+        "gc_ns_per_convolve_point", "ts_ns_per_ke_atom", "density_pad",
+    ):
+        assert getattr(c, field) > 0, field
+
+
+def test_htis_rate_is_published_value():
+    """32 pairwise pipelines at 800 MHz = 25.6 pairs/ns (HPCA'08)."""
+    assert DEFAULT_CALIBRATION.htis_pairs_per_ns == 25.6
+
+
+def test_packing_arithmetic():
+    c = DEFAULT_CALIBRATION
+    # 256-byte payloads hold ten 24-byte force records.
+    assert c.force_atoms_per_packet() == 10
+    assert c.grid_points_per_packet() == 64
+    assert c.force_atoms_per_packet() * c.force_bytes <= 256
+
+
+def test_density_pad_covers_benchmark_systems():
+    """The padding must cover the worst home-box occupancy of both
+    benchmark systems on the 512-node machine — otherwise the fixed
+    packet-count contract breaks at run time."""
+    import numpy as np
+
+    from repro.constants import DHFR_ATOMS, FIG12_PARTICLES
+    from repro.md.system import synthetic_dhfr
+
+    for atoms in (DHFR_ATOMS, FIG12_PARTICLES):
+        s = synthetic_dhfr(atoms=atoms)
+        idx = np.floor(s.positions / (s.box_edge / 8)).astype(int) % 8
+        counts = np.bincount(
+            idx[:, 0] + 8 * (idx[:, 1] + 8 * idx[:, 2]), minlength=512
+        )
+        fixed = np.ceil(DEFAULT_CALIBRATION.density_pad * counts.mean())
+        assert counts.max() <= fixed, atoms
+
+
+def test_calibration_is_immutable():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.density_pad = 2.0  # type: ignore[misc]
+
+
+def test_custom_calibration_flows_to_htis():
+    from repro.engine import Simulator
+    from repro.md.forcefield import ForceField
+    from repro.md.machine import AntonMD
+    from repro.md.system import tiny_system
+
+    cal = AntonCalibration(htis_pairs_per_ns=50.0)
+    md = AntonMD(tiny_system(32), (2, 2, 2), ff=ForceField(cutoff=3.0),
+                 calibration=cal)
+    assert md.machine.node(0).htis.pairs_per_ns == 50.0

@@ -1,0 +1,123 @@
+"""Unit tests for the spatial decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.md.decomposition import Decomposition
+from repro.md.forcefield import ForceField
+from repro.md.system import synthetic_dhfr, tiny_system
+from repro.topology import NodeCoord, Torus3D
+
+
+def _decomp(atoms=64, shape=(2, 2, 2), slack=0.0, threshold=0.0, box=16.0):
+    s = tiny_system(atoms, box_edge=box)
+    return s, Decomposition(
+        s, Torus3D(*shape), import_radius=2.0, slack=slack,
+        import_volume_threshold=threshold,
+    )
+
+
+def test_every_atom_has_exactly_one_home():
+    s, d = _decomp()
+    total = sum(len(d.atoms_of(c)) for c in d.torus.nodes())
+    assert total == s.num_atoms
+    assert d.atom_counts().sum() == s.num_atoms
+
+
+def test_home_matches_position():
+    s, d = _decomp()
+    for i in range(s.num_atoms):
+        home = d.node_of_atom(i)
+        w = d.box_widths
+        lo = np.array([home.x, home.y, home.z]) * w
+        hi = lo + w
+        assert np.all(s.positions[i] >= lo) and np.all(s.positions[i] < hi)
+
+
+def test_import_set_includes_self_and_is_symmetric():
+    s, d = _decomp(shape=(4, 4, 4), box=32.0)
+    for c in d.torus.nodes():
+        imports = d.import_nodes(c)
+        assert c in imports
+        for m in imports:
+            assert c in d.import_nodes(m)
+
+
+def test_import_threshold_clips_corners():
+    """The clipped import region drops corner-sliver boxes — the knob
+    that reproduces the paper's 'as many as 17 HTIS units'."""
+    dhfr = synthetic_dhfr()  # full size: the box/cutoff geometry matters
+    torus = Torus3D(8, 8, 8)
+    full = Decomposition(dhfr, torus, import_radius=6.5)
+    clipped = Decomposition(
+        dhfr, torus, import_radius=6.5, import_volume_threshold=0.4
+    )
+    assert len(full.import_nodes((0, 0, 0))) == 27
+    assert len(clipped.import_nodes((0, 0, 0))) == 19
+
+
+def test_no_migration_when_atoms_stay_put():
+    _s, d = _decomp(slack=0.5)
+    assert d.migration_moves() == {}
+
+
+def test_migration_detects_displaced_atom():
+    s, d = _decomp(slack=0.0)
+    atom = int(d.atoms_of((0, 0, 0))[0])
+    s.positions[atom] += d.box_widths * 1.0  # into the (1,1,1) box
+    s.wrap()
+    moves = d.migration_moves()
+    flat = [(src, dst, a) for src, recs in moves.items() for dst, a in recs]
+    assert any(a == atom for _, _, a in flat)
+    src, dst, _ = next(x for x in flat if x[2] == atom)
+    assert src == NodeCoord(0, 0, 0)
+
+
+def test_slack_defers_migration():
+    s, d = _decomp(slack=2.0)
+    atom = int(d.atoms_of((0, 0, 0))[0])
+    # Nudge just over the box edge but inside the slack margin.
+    s.positions[atom] = (d.box_widths * np.array([1.0, 0.5, 0.5])) + [0.5, 0, 0]
+    moved = [a for _, recs in d.migration_moves().items() for _, a in recs]
+    assert atom not in moved
+
+
+def test_apply_moves_updates_home():
+    s, d = _decomp(slack=0.0)
+    atom = int(d.atoms_of((0, 0, 0))[0])
+    s.positions[atom] += d.box_widths
+    s.wrap()
+    moves = d.migration_moves()
+    n = d.apply_moves(moves)
+    assert n >= 1
+    assert d.node_of_atom(atom) == NodeCoord(1, 1, 1)
+    assert d.migration_moves() == {}  # settled
+
+
+def test_migration_respects_wraparound():
+    s, d = _decomp(slack=0.0)
+    atom = int(d.atoms_of((0, 0, 0))[0])
+    s.positions[atom][0] = s.box_edge - 0.1  # wraps to the x-1 box
+    moves = d.migration_moves()
+    flat = [(dst, a) for recs in moves.values() for dst, a in recs]
+    dst = next(dd for dd, a in flat if a == atom)
+    assert dst.x == d.torus.nx - 1
+
+
+def test_rehome_all():
+    s, d = _decomp(slack=5.0)
+    rng = np.random.default_rng(0)
+    s.positions[:] = rng.uniform(0, s.box_edge, s.positions.shape)
+    d.rehome_all()
+    assert d.migration_moves() == {}
+
+
+def test_validation():
+    s = tiny_system(8)
+    t = Torus3D(2, 2, 2)
+    with pytest.raises(ValueError):
+        Decomposition(s, t, import_radius=0.0)
+    with pytest.raises(ValueError):
+        Decomposition(s, t, import_radius=1.0, slack=-1.0)
+    with pytest.raises(ValueError):
+        Decomposition(s, t, import_radius=1.0, import_volume_threshold=1.0)

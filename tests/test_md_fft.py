@@ -1,0 +1,92 @@
+"""Unit tests for the distributed FFT communication plan (§IV.B.3)."""
+
+import pytest
+
+from repro.md.fft import DistributedFFTPlan
+from repro.topology import Torus3D
+
+
+def _plan(shape=(4, 4, 4), grid=8):
+    return DistributedFFTPlan(Torus3D(*shape), grid=grid)
+
+
+def test_grid_must_tile_machine():
+    with pytest.raises(ValueError):
+        DistributedFFTPlan(Torus3D(3, 4, 4), grid=8)
+
+
+def test_block_ownership_partitions_grid():
+    plan = _plan()
+    counts = plan.stage_points_owned("block")
+    assert sum(counts.values()) == plan.total_points()
+    assert set(counts.values()) == {plan.points_per_node()}
+
+
+def test_line_ownership_is_balanced():
+    """Each node of a row owns the same number of 1-D lines."""
+    plan = _plan(shape=(8, 8, 8), grid=32)
+    torus = plan.torus
+    counts = {c: plan.lines_owned(c, "x") for c in torus.nodes()}
+    assert set(counts.values()) == {32 * 32 // (8 * 8 * 8) * 8 // 8}  # = 2
+    assert sum(counts.values()) == 32 * 32
+
+
+def test_line_stays_within_its_row():
+    plan = _plan(shape=(8, 8, 8), grid=32)
+    owner = plan.line_owner("x", 5, 17)
+    # The owner shares the block owners' y/z coordinates.
+    assert owner.y == 5 // 4 and owner.z == 17 // 4
+
+
+def test_stage_transfers_conserve_points():
+    plan = _plan()
+    for a, b in zip(plan.STAGES[:-1], plan.STAGES[1:]):
+        sent = sum(plan.stage_transfers(a, b).values())
+        recv = sum(plan.stage_recv_counts(a, b).values())
+        assert sent == recv
+        # Every point either moves once or stays local.
+        assert sent <= plan.total_points()
+
+
+def test_forward_and_inverse_symmetric():
+    plan = _plan()
+    fwd = sum(plan.stage_transfers("block", "x").values())
+    inv = sum(plan.stage_transfers("ix", "iblock").values())
+    assert fwd == inv
+
+
+def test_transfers_stay_in_dimension_rows():
+    """Gathering X lines only moves data along X — the hop-minimising
+    property of the dimension-ordered FFT."""
+    plan = _plan(shape=(8, 8, 8), grid=32)
+    for (src, dst), _n in plan.stage_transfers("block", "x").items():
+        assert (src.y, src.z) == (dst.y, dst.z)
+
+
+def test_max_hops_bounded_by_row():
+    plan = _plan(shape=(8, 8, 8), grid=32)
+    assert plan.max_hops("x") == 4
+
+
+def test_paper_configuration_statistics():
+    """32³ grid on 512 nodes: 64 points per node, 2 lines per node per
+    phase, 56 points sent/received per node per transfer."""
+    plan = _plan(shape=(8, 8, 8), grid=32)
+    assert plan.points_per_node() == 64
+    c = plan.torus.coord((0, 0, 0))
+    assert plan.lines_owned(c, "x") == 2
+    recv = plan.stage_recv_counts("block", "x")
+    assert recv[c] == 2 * (32 - 4)  # own block already holds 4 per line
+
+
+def test_stage_owner_unknown_stage():
+    plan = _plan()
+    with pytest.raises(ValueError):
+        plan.stage_owner("w", 0, 0, 0)
+
+
+def test_send_lists_match_transfers():
+    plan = _plan()
+    sends = plan.stage_send_lists("block", "x")
+    total = sum(n for lst in sends.values() for _dst, n in lst)
+    assert total == sum(plan.stage_transfers("block", "x").values())

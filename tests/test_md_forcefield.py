@@ -1,0 +1,116 @@
+"""Unit tests for the force-field kernels."""
+
+import numpy as np
+import pytest
+from scipy.special import erfc as scipy_erfc
+
+from repro.md.forcefield import COULOMB, ForceField, _erfc
+
+
+def test_erfc_matches_scipy():
+    x = np.linspace(-4, 4, 201)
+    np.testing.assert_allclose(_erfc(x), scipy_erfc(x), atol=2e-7)
+
+
+def test_lj_minimum_at_sigma_2_to_sixth():
+    ff = ForceField(cutoff=20.0, ewald_alpha=0.0, shift=False)
+    sigma, eps = 3.0, 0.5
+    r_min = sigma * 2 ** (1 / 6)
+    r = np.array([r_min])
+    _e, f = ff.pair_energy_force(
+        r, np.array([eps]), np.array([sigma]), np.array([0.0])
+    )
+    assert f[0] == pytest.approx(0.0, abs=1e-10)
+    e_min, _ = ff.pair_energy_force(
+        r, np.array([eps]), np.array([sigma]), np.array([0.0])
+    )
+    assert e_min[0] == pytest.approx(-eps)
+
+
+def test_lj_repulsive_inside_attractive_outside():
+    ff = ForceField(cutoff=20.0, ewald_alpha=0.0)
+    sigma = np.array([3.0])
+    eps = np.array([0.5])
+    q = np.array([0.0])
+    r_min = 3.0 * 2 ** (1 / 6)
+    _, f_in = ff.pair_energy_force(np.array([0.9 * r_min]), eps, sigma, q)
+    _, f_out = ff.pair_energy_force(np.array([1.2 * r_min]), eps, sigma, q)
+    assert f_in[0] > 0  # repulsive
+    assert f_out[0] < 0  # attractive
+
+
+def test_coulomb_without_split_is_plain():
+    ff = ForceField(cutoff=50.0, ewald_alpha=0.0, shift=False)
+    r = np.array([5.0])
+    e, f = ff.pair_energy_force(r, np.zeros(1), np.ones(1), np.array([1.0]))
+    assert e[0] == pytest.approx(COULOMB / 5.0)
+    assert f[0] == pytest.approx(COULOMB / 5.0 ** 3)
+
+
+def test_erfc_screening_reduces_energy():
+    plain = ForceField(cutoff=50.0, ewald_alpha=0.0, shift=False)
+    split = ForceField(cutoff=50.0, ewald_alpha=0.4, shift=False)
+    r = np.array([5.0])
+    e0, _ = plain.pair_energy_force(r, np.zeros(1), np.ones(1), np.array([1.0]))
+    e1, _ = split.pair_energy_force(r, np.zeros(1), np.ones(1), np.array([1.0]))
+    assert 0 < e1[0] < e0[0]
+
+
+def test_force_is_negative_energy_gradient():
+    ff = ForceField(cutoff=50.0, ewald_alpha=0.35)  # shift: constant, no effect
+    eps, sig, qq = np.array([0.2]), np.array([3.0]), np.array([0.5])
+    r = np.array([4.2])
+    h = 1e-6
+    e_plus, _ = ff.pair_energy_force(r + h, eps, sig, qq)
+    e_minus, _ = ff.pair_energy_force(r - h, eps, sig, qq)
+    _, f_over_r = ff.pair_energy_force(r, eps, sig, qq)
+    force = f_over_r[0] * r[0]
+    assert force == pytest.approx(-(e_plus[0] - e_minus[0]) / (2 * h), rel=1e-5)
+
+
+def test_self_energy_sign_and_scaling():
+    ff = ForceField(ewald_alpha=0.35)
+    q = np.array([1.0, -1.0, 0.5])
+    e = ff.self_energy(q)
+    assert e < 0
+    assert ff.self_energy(2 * q) == pytest.approx(4 * e)
+    assert ForceField(ewald_alpha=0.0).self_energy(q) == 0.0
+
+
+def test_lorentz_berthelot():
+    ff = ForceField()
+    eps, sig = ff.combine_lj(
+        np.array([0.1]), np.array([0.4]), np.array([3.0]), np.array([1.0])
+    )
+    assert eps[0] == pytest.approx(0.2)
+    assert sig[0] == pytest.approx(2.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ForceField(cutoff=0.0)
+    with pytest.raises(ValueError):
+        ForceField(ewald_alpha=-0.1)
+
+
+def test_energy_shift_zero_at_cutoff():
+    """With shifting on, pair energy vanishes exactly at the cutoff."""
+    import numpy as np
+
+    ff = ForceField(cutoff=7.0, ewald_alpha=0.3, shift=True)
+    e, _f = ff.pair_energy_force(
+        np.array([7.0]), np.array([0.2]), np.array([3.0]), np.array([0.4])
+    )
+    assert abs(e[0]) < 1e-14
+
+
+def test_shift_does_not_change_forces():
+    import numpy as np
+
+    r = np.array([3.3, 4.4, 6.1])
+    eps = np.array([0.2, 0.1, 0.3])
+    sig = np.array([3.0, 2.5, 3.2])
+    qq = np.array([0.2, -0.3, 0.1])
+    _e1, f1 = ForceField(cutoff=7.0, shift=True).pair_energy_force(r, eps, sig, qq)
+    _e2, f2 = ForceField(cutoff=7.0, shift=False).pair_energy_force(r, eps, sig, qq)
+    np.testing.assert_allclose(f1, f2)

@@ -1,0 +1,87 @@
+"""Unit tests for cell-list range-limited forces."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import ForceField
+from repro.md.rangelimited import CellList, range_limited_forces
+from repro.md.system import bulk_water, tiny_system
+
+
+def brute_force(system, ff):
+    """O(n²) reference via the one-cell fallback path."""
+    cl = CellList(system.positions, system.box_edge, system.box_edge)
+    assert cl.cells_per_edge == 1
+    return range_limited_forces(system, ff, cl)
+
+
+def test_cell_list_bins_every_atom():
+    s = bulk_water(27)
+    cl = CellList(s.positions, s.box_edge, 4.0)
+    total = 0
+    for cx, cy, cz in cl.cell_coords():
+        total += cl.atoms_in(cx, cy, cz).size
+    assert total == s.num_atoms
+
+
+def test_cell_edge_at_least_cutoff():
+    s = bulk_water(27)
+    cl = CellList(s.positions, s.box_edge, 4.0)
+    assert cl.cell_edge >= 4.0
+
+
+def test_cells_match_brute_force():
+    """The half-shell cell walk must agree exactly with O(n²)."""
+    s = bulk_water(64, seed=2)
+    ff = ForceField(cutoff=4.5, ewald_alpha=0.3)
+    fast = range_limited_forces(s, ff)
+    slow = brute_force(s, ff)
+    assert fast.pair_count == slow.pair_count
+    assert fast.energy == pytest.approx(slow.energy, rel=1e-12)
+    np.testing.assert_allclose(fast.forces, slow.forces, atol=1e-9)
+    assert fast.virial == pytest.approx(slow.virial, rel=1e-12)
+
+
+def test_forces_sum_to_zero():
+    s = tiny_system(32, box_edge=14.0)
+    ff = ForceField(cutoff=5.0, ewald_alpha=0.3)
+    res = range_limited_forces(s, ff)
+    np.testing.assert_allclose(res.forces.sum(axis=0), 0.0, atol=1e-10)
+
+
+def test_forces_match_numerical_gradient():
+    s = tiny_system(12, box_edge=10.0)
+    ff = ForceField(cutoff=4.0, ewald_alpha=0.3)
+    res = range_limited_forces(s, ff)
+    h = 1e-6
+    for atom in (0, 5):
+        for ax in range(3):
+            p = s.copy()
+            p.positions[atom, ax] += h
+            m = s.copy()
+            m.positions[atom, ax] -= h
+            grad = (range_limited_forces(p, ff).energy
+                    - range_limited_forces(m, ff).energy) / (2 * h)
+            assert res.forces[atom, ax] == pytest.approx(-grad, rel=1e-4, abs=1e-5)
+
+
+def test_pair_count_matches_density_estimate():
+    s = bulk_water(125, seed=1)
+    ff = ForceField(cutoff=5.0)
+    res = range_limited_forces(s, ff)
+    shell = 4.0 / 3.0 * np.pi * ff.cutoff ** 3
+    expected = s.num_atoms * s.density * shell / 2.0
+    assert res.pair_count == pytest.approx(expected, rel=0.15)
+
+
+def test_no_self_pairs_tiny_box():
+    s = tiny_system(4, box_edge=6.0)
+    ff = ForceField(cutoff=2.9)  # cutoff ~ box/2: brute-force path
+    res = range_limited_forces(s, ff)
+    assert res.pair_count <= 6
+
+
+def test_invalid_cutoff():
+    s = tiny_system(4)
+    with pytest.raises(ValueError):
+        CellList(s.positions, s.box_edge, 0.0)

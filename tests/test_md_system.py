@@ -1,0 +1,113 @@
+"""Unit tests for chemical-system builders."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DHFR_ATOMS
+from repro.md.system import (
+    ChemicalSystem,
+    bulk_water,
+    synthetic_dhfr,
+    tiny_system,
+)
+
+
+def test_tiny_system_shapes():
+    s = tiny_system(24)
+    assert s.num_atoms == 24
+    assert s.positions.shape == (24, 3)
+    assert s.velocities.shape == (24, 3)
+    assert np.all(s.positions >= 0) and np.all(s.positions < s.box_edge)
+
+
+def test_water_structure():
+    w = bulk_water(molecules=8)
+    assert w.num_atoms == 24
+    assert w.num_bonds == 16  # two OH bonds per molecule
+    # Each molecule: one O (mass ~16) and two H.
+    assert np.isclose(w.masses[0::3], 15.999).all()
+    # OH bond lengths start near r0.
+    from repro.md.bonded import bond_lengths
+
+    assert np.allclose(bond_lengths(w), 0.9572, atol=0.05)
+
+
+def test_water_is_neutral():
+    w = bulk_water(27)
+    assert w.total_charge() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_zero_net_momentum():
+    for s in (tiny_system(16), bulk_water(8), synthetic_dhfr(atoms=600)):
+        p = (s.velocities * s.masses[:, None]).sum(axis=0)
+        assert np.abs(p).max() < 1e-9
+
+
+def test_synthetic_dhfr_statistics():
+    d = synthetic_dhfr()
+    assert d.num_atoms == DHFR_ATOMS
+    # Density matches solvated-protein water density.
+    assert d.density == pytest.approx(0.0993, rel=0.02)
+    assert d.total_charge() == pytest.approx(0.0, abs=1e-9)
+    # Bond density: roughly 0.7 bonds per atom overall.
+    assert 0.6 < d.num_bonds / d.num_atoms < 0.8
+
+
+def test_synthetic_dhfr_spatially_balanced():
+    """Atoms per home box must stay within the fixed packet padding
+    (the property the machine mapping depends on)."""
+    d = synthetic_dhfr()
+    idx = np.floor(d.positions / (d.box_edge / 8)).astype(int) % 8
+    counts = np.bincount(idx[:, 0] + 8 * (idx[:, 1] + 8 * idx[:, 2]), minlength=512)
+    assert counts.max() <= 1.5 * counts.mean()
+    assert counts.min() >= 0.5 * counts.mean()
+
+
+def test_synthetic_dhfr_bond_locality():
+    d = synthetic_dhfr()
+    from repro.md.bonded import bond_lengths
+
+    bl = bond_lengths(d)
+    # Nearly all bonds are short (chain-local placement).
+    assert np.percentile(bl, 99) < 6.0
+
+
+def test_reproducible_with_seed():
+    a = synthetic_dhfr(atoms=600, seed=3)
+    b = synthetic_dhfr(atoms=600, seed=3)
+    np.testing.assert_array_equal(a.positions, b.positions)
+    c = synthetic_dhfr(atoms=600, seed=4)
+    assert not np.array_equal(a.positions, c.positions)
+
+
+def test_validation_catches_bad_shapes():
+    s = tiny_system(8)
+    with pytest.raises(ValueError):
+        ChemicalSystem(
+            positions=s.positions,
+            velocities=s.velocities[:4],
+            masses=s.masses,
+            charges=s.charges,
+            lj_epsilon=s.lj_epsilon,
+            lj_sigma=s.lj_sigma,
+            bonds=s.bonds,
+            bond_r0=s.bond_r0,
+            bond_k=s.bond_k,
+            box_edge=s.box_edge,
+        )
+
+
+def test_copy_is_deep():
+    s = tiny_system(8)
+    c = s.copy()
+    c.positions += 1.0
+    assert not np.allclose(s.positions, c.positions)
+
+
+def test_wrap_and_minimum_image():
+    s = tiny_system(8, box_edge=10.0)
+    s.positions[0] = [11.0, -1.0, 5.0]
+    s.wrap()
+    np.testing.assert_allclose(s.positions[0], [1.0, 9.0, 5.0])
+    dr = s.minimum_image(np.array([[9.0, 0.0, 0.0]]))
+    np.testing.assert_allclose(dr, [[-1.0, 0.0, 0.0]])

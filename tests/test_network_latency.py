@@ -1,0 +1,84 @@
+"""Calibration tests: the network must reproduce Figs. 5 & 6 exactly.
+
+These are the reproduction's anchor tests — if any of them fails, every
+downstream timing result is meaningless.
+"""
+
+import pytest
+
+from repro.asic import build_machine
+from repro.constants import (
+    HOP_NS,
+    ONE_HOP_X_NS,
+    ZERO_HOP_NS,
+)
+from repro.engine import Simulator
+from tests.conftest import run_exchange
+
+
+def one_way(shape, dst, payload_bytes=0):
+    sim = Simulator()
+    m = build_machine(sim, *shape)
+    src = m.node((0, 0, 0)).slice(0)
+    rcv = m.node(dst).slice(1 if dst == (0, 0, 0) else 0)
+    return run_exchange(sim, src, rcv, payload_bytes=payload_bytes)
+
+
+def test_headline_162ns():
+    """A 0-byte counted remote write between X-neighbours is 162 ns."""
+    assert one_way((8, 8, 8), (1, 0, 0)) == pytest.approx(162.0)
+    assert ONE_HOP_X_NS == pytest.approx(162.0)
+
+
+def test_zero_hop_intra_node():
+    assert one_way((8, 8, 8), (0, 0, 0)) == pytest.approx(ZERO_HOP_NS)
+
+
+@pytest.mark.parametrize("hops", [2, 3, 4])
+def test_marginal_x_hop_is_76ns(hops):
+    assert one_way((8, 8, 8), (hops, 0, 0)) == pytest.approx(
+        162.0 + (hops - 1) * HOP_NS["x"]
+    )
+
+
+def test_y_and_z_hops_cost_54ns():
+    base = one_way((8, 8, 8), (4, 0, 0))
+    assert one_way((8, 8, 8), (4, 1, 0)) == pytest.approx(base + HOP_NS["y"])
+    assert one_way((8, 8, 8), (4, 1, 1)) == pytest.approx(
+        base + HOP_NS["y"] + HOP_NS["z"]
+    )
+
+
+def test_machine_diameter_latency():
+    """Fig. 5: 12 hops on an 8x8x8 is about five times one hop."""
+    far = one_way((8, 8, 8), (4, 4, 4))
+    assert far == pytest.approx(162.0 + 3 * 76.0 + 8 * 54.0)  # 822 ns
+    assert 4.5 < far / 162.0 < 5.5
+
+
+def test_payload_serialization_latency_paid_once():
+    """256-byte packets ride cut-through: payload time is added once,
+    not per hop (Fig. 5's parallel curves)."""
+    d1 = one_way((8, 8, 8), (1, 0, 0), 256) - one_way((8, 8, 8), (1, 0, 0), 0)
+    d4 = one_way((8, 8, 8), (4, 0, 0), 256) - one_way((8, 8, 8), (4, 0, 0), 0)
+    assert d1 == pytest.approx(d4)
+    assert d1 > 0
+
+
+def test_wraparound_routes_shorter_than_linear():
+    """(7,0,0) is one hop away on the torus, not seven."""
+    assert one_way((8, 8, 8), (7, 0, 0)) == pytest.approx(162.0)
+
+
+def test_inline_payload_has_zero_extra_latency():
+    assert one_way((8, 8, 8), (1, 0, 0), 8) == pytest.approx(162.0)
+
+
+def test_wire_latency_values_documented_in_fig6():
+    from repro.analysis.latency import breakdown_162ns
+
+    parts = breakdown_162ns()
+    assert sum(v for _, v in parts) == pytest.approx(162.0)
+    labels = [name for name, _ in parts]
+    assert any("poll" in l for l in labels)
+    assert any("link adapter" in l for l in labels)

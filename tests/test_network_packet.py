@@ -1,0 +1,84 @@
+"""Unit tests for packet formats and the wire model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import HEADER_BYTES, TORUS_LINK_EFFECTIVE_GBPS
+from repro.network.packet import (
+    AccumPacket,
+    FifoPacket,
+    Packet,
+    PacketKind,
+    WritePacket,
+    payload_bytes_of,
+)
+from repro.topology import NodeCoord
+
+A = NodeCoord(0, 0, 0)
+B = NodeCoord(1, 0, 0)
+
+
+def mk(**kw):
+    kw.setdefault("src_node", A)
+    kw.setdefault("src_client", "slice0")
+    kw.setdefault("dst_node", B)
+    kw.setdefault("dst_client", "slice0")
+    return Packet(**kw)
+
+
+def test_payload_bounds_enforced():
+    mk(payload_bytes=0)
+    mk(payload_bytes=256)
+    with pytest.raises(ValueError):
+        mk(payload_bytes=257)
+    with pytest.raises(ValueError):
+        mk(payload_bytes=-1)
+
+
+def test_inline_payload_rides_in_header():
+    small = mk(payload_bytes=8)
+    assert small.inline
+    assert small.wire_bytes == HEADER_BYTES
+    big = mk(payload_bytes=9)
+    assert not big.inline
+    assert big.wire_bytes == HEADER_BYTES + 9
+
+
+def test_serialization_time_matches_effective_bandwidth():
+    p = mk(payload_bytes=256)
+    expected = (HEADER_BYTES + 256) * 8.0 / TORUS_LINK_EFFECTIVE_GBPS
+    assert p.serialization_ns == pytest.approx(expected)
+
+
+def test_accum_packet_payload_granularity():
+    AccumPacket(src_node=A, src_client="htis", dst_node=B,
+                dst_client="accum0", payload_bytes=8)
+    with pytest.raises(ValueError):
+        AccumPacket(src_node=A, src_client="htis", dst_node=B,
+                    dst_client="accum0", payload_bytes=7)
+
+
+def test_kind_constructors():
+    assert WritePacket(src_node=A, src_client="s", dst_node=B,
+                       dst_client="d").kind is PacketKind.WRITE
+    assert FifoPacket(src_node=A, src_client="s", dst_node=B,
+                      dst_client="d").kind is PacketKind.FIFO
+
+
+def test_packet_ids_unique():
+    ids = {mk().packet_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_multicast_flag():
+    assert not mk().is_multicast
+    assert mk(pattern_id=3).is_multicast
+
+
+def test_payload_bytes_of():
+    assert payload_bytes_of(None) == 0
+    assert payload_bytes_of(np.zeros(3)) == 24
+    assert payload_bytes_of(b"abcd") == 4
+    assert payload_bytes_of(1.5) == 8
+    with pytest.raises(TypeError):
+        payload_bytes_of(object())

@@ -1,0 +1,44 @@
+"""Unit tests for the intra-node ring layout model."""
+
+import pytest
+
+from repro.constants import HOP_NS, LINK_COST_NS, THROUGH_RING_NS
+from repro.topology.ring import NUM_RING_ROUTERS, RingClient, RingLayout
+
+
+def test_every_client_is_placed():
+    layout = RingLayout()
+    for client in RingClient:
+        router = layout.router_of(client)
+        assert 0 <= router < NUM_RING_ROUTERS
+
+
+def test_ring_hops_symmetric_and_bounded():
+    for a in range(NUM_RING_ROUTERS):
+        for b in range(NUM_RING_ROUTERS):
+            h = RingLayout.ring_hops(a, b)
+            assert h == RingLayout.ring_hops(b, a)
+            assert 0 <= h <= NUM_RING_ROUTERS // 2
+
+
+def test_ring_hops_bad_index():
+    with pytest.raises(ValueError):
+        RingLayout.ring_hops(0, 6)
+
+
+def test_x_transit_crosses_more_routers_than_y_or_z():
+    """Fig. 5: X hops cost 76 ns vs 54 ns for Y/Z because X-dimension
+    transit traffic traverses more on-chip routers per node."""
+    layout = RingLayout()
+    assert layout.transit_hops("x") > layout.transit_hops("y")
+    assert layout.transit_hops("x") > layout.transit_hops("z")
+
+
+def test_calibrated_constants_consistent_with_layout():
+    """The derived THROUGH_RING costs must order the same way as the
+    layout's transit hop counts, and each marginal hop cost must
+    decompose as link cost + through-ring cost."""
+    layout = RingLayout()
+    assert THROUGH_RING_NS["x"] > THROUGH_RING_NS["y"] >= THROUGH_RING_NS["z"]
+    for d in ("x", "y", "z"):
+        assert LINK_COST_NS[d] + THROUGH_RING_NS[d] == pytest.approx(HOP_NS[d])
