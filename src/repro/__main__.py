@@ -7,12 +7,20 @@ Quick access to the headline measurements without writing a script:
 * ``allreduce`` — Table 2 rows (pass shapes like ``4x4x4``)
 * ``survey``    — Table 1 with the simulated Anton row
 * ``transfer``  — Fig. 7: the 2 KB message-granularity experiment
+* ``trace``     — record a packet flight trace of an experiment and
+  export it as Chrome/Perfetto ``trace_event`` JSON (open the file in
+  https://ui.perfetto.dev) and optionally JSONL
+
+Every measurement subcommand also takes ``--metrics``, which runs it
+with the telemetry layer attached and prints the metrics registry
+(counters / gauges / latency percentiles) after the result.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 
 
 def _parse_shape(text: str) -> tuple[int, int, int]:
@@ -25,6 +33,22 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
         ) from None
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.trace.capture import run_traced
+    from repro.trace.export import flight_summary, write_chrome_trace, write_jsonl
+
+    cap = run_traced(args.experiment, shape=args.shape, rounds=args.rounds)
+    write_chrome_trace(args.out, cap.flight, metrics=cap.metrics)
+    print(f"captured {args.experiment}: {cap.description}")
+    print(f"wrote {args.out} (Chrome trace_event JSON; open in ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(args.jsonl, cap.flight)
+        print(f"wrote {args.jsonl} (JSONL, one record per line)")
+    print()
+    print(flight_summary(cap.flight, cap.metrics))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -32,69 +56,115 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_lat = sub.add_parser("latency", help="Fig. 5: latency vs hops")
+    # Shared by every measurement subcommand: run with telemetry on and
+    # print the metrics registry afterwards.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics", action="store_true",
+        help="attach the telemetry layer and print metrics after the run",
+    )
+
+    p_lat = sub.add_parser("latency", parents=[common],
+                           help="Fig. 5: latency vs hops")
     p_lat.add_argument("--shape", type=_parse_shape, default=(8, 8, 8))
 
-    sub.add_parser("breakdown", help="Fig. 6: the 162 ns breakdown")
-    sub.add_parser("survey", help="Table 1 with the simulated Anton row")
-    sub.add_parser("transfer", help="Fig. 7: 2 KB in 1-64 messages")
+    sub.add_parser("breakdown", parents=[common],
+                   help="Fig. 6: the 162 ns breakdown")
+    sub.add_parser("survey", parents=[common],
+                   help="Table 1 with the simulated Anton row")
+    sub.add_parser("transfer", parents=[common],
+                   help="Fig. 7: 2 KB in 1-64 messages")
 
-    p_ar = sub.add_parser("allreduce", help="Table 2 all-reduce rows")
+    p_ar = sub.add_parser("allreduce", parents=[common],
+                          help="Table 2 all-reduce rows")
     p_ar.add_argument(
         "shapes", nargs="*", type=_parse_shape, default=[(4, 4, 4), (8, 8, 8)]
     )
 
+    from repro.trace.capture import EXPERIMENTS
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="record a packet flight trace and export it for Perfetto",
+    )
+    p_tr.add_argument("experiment", choices=EXPERIMENTS)
+    p_tr.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
+    p_tr.add_argument("--rounds", type=int, default=2,
+                      help="repetitions inside the experiment (default 2)")
+    p_tr.add_argument("--out", default="trace.json",
+                      help="Chrome trace_event JSON output path")
+    p_tr.add_argument("--jsonl", default=None,
+                      help="also write a JSONL dump to this path")
+
     args = parser.parse_args(argv)
 
-    if args.command == "latency":
-        from repro.analysis import latency_vs_hops, render_series
+    if args.command == "trace":
+        return _run_trace(args)
 
-        pts = latency_vs_hops(shape=args.shape)
-        print(render_series(
-            f"One-way latency (ns) vs hops on {args.shape}",
-            "hops", [p.hops for p in pts],
-            {
-                "0B": [p.uni_0b for p in pts],
-                "256B": [p.uni_256b for p in pts],
-            },
-        ))
-    elif args.command == "breakdown":
-        from repro.analysis import breakdown_162ns, render_table
+    registry = None
+    stack = ExitStack()
+    if getattr(args, "metrics", False):
+        from repro.trace.flight import FlightRecorder, use_flight
+        from repro.trace.metrics import MetricsRegistry, use_registry
 
-        parts = breakdown_162ns()
-        rows = [[label, ns] for label, ns in parts]
-        rows.append(["TOTAL", sum(ns for _, ns in parts)])
-        print(render_table("The 162 ns write, by component", ["part", "ns"], rows))
-    elif args.command == "survey":
-        from repro.analysis import ping_pong_ns
-        from repro.baselines.survey import survey_table
+        registry = MetricsRegistry()
+        stack.enter_context(use_registry(registry))
+        stack.enter_context(use_flight(FlightRecorder(metrics=registry)))
 
-        measured = ping_pong_ns((8, 8, 8), (1, 0, 0)) / 1000.0
-        print(survey_table(measured_anton_us=measured))
-    elif args.command == "transfer":
-        from repro.analysis import render_series, transfer_split_series
+    with stack:
+        if args.command == "latency":
+            from repro.analysis import latency_vs_hops, render_series
 
-        pts = transfer_split_series()
-        print(render_series(
-            "2 KB transfer time (µs) vs messages",
-            "messages", [p.num_messages for p in pts],
-            {
-                "InfiniBand": [p.infiniband_ns / 1000 for p in pts],
-                "Anton 1 hop": [p.anton_1hop_ns / 1000 for p in pts],
-            },
-            float_format="{:.2f}",
-        ))
-    elif args.command == "allreduce":
-        from repro.analysis import measure_allreduce, render_table
+            pts = latency_vs_hops(shape=args.shape)
+            print(render_series(
+                f"One-way latency (ns) vs hops on {args.shape}",
+                "hops", [p.hops for p in pts],
+                {
+                    "0B": [p.uni_0b for p in pts],
+                    "256B": [p.uni_256b for p in pts],
+                },
+            ))
+        elif args.command == "breakdown":
+            from repro.analysis import breakdown_162ns, render_table
 
-        rows = []
-        for shape in args.shapes:
-            p = measure_allreduce(shape)
-            rows.append([f"{p.nodes} ({shape[0]}x{shape[1]}x{shape[2]})",
-                         p.reduce0_us, p.reduce32_us])
-        print(render_table(
-            "Global all-reduce (µs)", ["nodes", "0B", "32B"], rows
-        ))
+            parts = breakdown_162ns()
+            rows = [[label, ns] for label, ns in parts]
+            rows.append(["TOTAL", sum(ns for _, ns in parts)])
+            print(render_table("The 162 ns write, by component", ["part", "ns"], rows))
+        elif args.command == "survey":
+            from repro.analysis import ping_pong_ns
+            from repro.baselines.survey import survey_table
+
+            measured = ping_pong_ns((8, 8, 8), (1, 0, 0)) / 1000.0
+            print(survey_table(measured_anton_us=measured))
+        elif args.command == "transfer":
+            from repro.analysis import render_series, transfer_split_series
+
+            pts = transfer_split_series()
+            print(render_series(
+                "2 KB transfer time (µs) vs messages",
+                "messages", [p.num_messages for p in pts],
+                {
+                    "InfiniBand": [p.infiniband_ns / 1000 for p in pts],
+                    "Anton 1 hop": [p.anton_1hop_ns / 1000 for p in pts],
+                },
+                float_format="{:.2f}",
+            ))
+        elif args.command == "allreduce":
+            from repro.analysis import measure_allreduce, render_table
+
+            rows = []
+            for shape in args.shapes:
+                p = measure_allreduce(shape)
+                rows.append([f"{p.nodes} ({shape[0]}x{shape[1]}x{shape[2]})",
+                             p.reduce0_us, p.reduce32_us])
+            print(render_table(
+                "Global all-reduce (µs)", ["nodes", "0B", "32B"], rows
+            ))
+
+    if registry is not None:
+        print()
+        print(registry.summary())
     return 0
 
 

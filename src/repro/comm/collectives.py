@@ -31,6 +31,7 @@ from repro.constants import REDUCE_SUM_NS_PER_WORD
 from repro.engine.event import Event
 from repro.network.multicast import compile_pattern
 from repro.topology.torus import DIMS, NodeCoord
+from repro.trace.metrics import active_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.simulator import Simulator
@@ -229,6 +230,10 @@ class AllReduce:
         results = set(final.values())
         if len(results) != 1:
             raise AssertionError(f"all-reduce diverged: {sorted(results)[:4]}")
+        reg = active_registry()
+        if reg is not None:
+            reg.counter("comm.allreduce.runs").inc()
+            reg.histogram("comm.allreduce.elapsed_ns").observe(elapsed)
         return AllReduceResult(
             value=final[next(iter(final))],
             elapsed_ns=elapsed,
@@ -361,9 +366,14 @@ class ButterflyAllReduce:
         results = set(final.values())
         if len(results) != 1:
             raise AssertionError(f"butterfly all-reduce diverged: {sorted(results)[:4]}")
+        elapsed = max(done.values()) - start
+        reg = active_registry()
+        if reg is not None:
+            reg.counter("comm.butterfly.runs").inc()
+            reg.histogram("comm.butterfly.elapsed_ns").observe(elapsed)
         return AllReduceResult(
             value=final[next(iter(final))],
-            elapsed_ns=max(done.values()) - start,
+            elapsed_ns=elapsed,
             per_node_done_ns=done,
         )
 

@@ -34,6 +34,7 @@ from repro.constants import (
 from repro.engine.event import Event
 from repro.network.multicast import compile_pattern
 from repro.topology.torus import NodeCoord
+from repro.trace.metrics import active_registry
 
 #: Software cost to dequeue and process one FIFO message.
 _FIFO_MSG_COST_NS = FIFO_POLL_NS + FIFO_PROCESS_NS
@@ -164,6 +165,14 @@ class MigrationProtocol:
             self.machine.node(c).slices[self.slice_index].fifo.high_watermark
             for c in torus.nodes()
         )
+        reg = active_registry()
+        if reg is not None:
+            reg.counter("comm.migration.runs").inc()
+            reg.counter("comm.migration.messages").inc(sent)
+            reg.histogram("comm.migration.elapsed_ns").observe(
+                max(done.values()) - start
+            )
+            reg.gauge("comm.migration.fifo_high_watermark").set(hw)
         return MigrationResult(
             elapsed_ns=max(done.values()) - start,
             messages_sent=sent,

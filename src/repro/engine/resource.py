@@ -44,6 +44,10 @@ class Resource:
         # Statistics for utilization accounting (trace/stats).
         self.total_busy_ns: float = 0.0
         self._busy_since: Optional[float] = None
+        #: Deepest wait queue ever observed (head-of-line telemetry);
+        #: updated only on the contended path, so uncontended resources
+        #: pay nothing.
+        self.peak_queue_length: int = 0
 
     @property
     def in_use(self) -> int:
@@ -62,6 +66,8 @@ class Resource:
             self._grant(ev)
         else:
             self._waiters.append(ev)
+            if len(self._waiters) > self.peak_queue_length:
+                self.peak_queue_length = len(self._waiters)
         return ev
 
     def try_acquire(self) -> bool:
@@ -101,12 +107,20 @@ class Resource:
             self.release()
 
     def utilization(self, elapsed_ns: Optional[float] = None) -> float:
-        """Fraction of time this resource was busy (any slot in use)."""
+        """Fraction of time this resource was busy (any slot in use).
+
+        A zero-length (or negative) window has no meaningful busy
+        fraction; it reports 0.0 rather than dividing by zero — this
+        covers both an explicit ``elapsed_ns=0`` and querying before
+        the simulation clock has advanced.
+        """
+        horizon = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
         busy = self.total_busy_ns
         if self._busy_since is not None:
             busy += self.sim.now - self._busy_since
-        horizon = elapsed_ns if elapsed_ns is not None else self.sim.now
-        return busy / horizon if horizon > 0 else 0.0
+        return busy / horizon
 
 
 class Store:

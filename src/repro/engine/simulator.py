@@ -10,10 +10,13 @@ trace-diffing tests and for the paper-reproduction benchmarks).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.engine.event import AllOf, AnyOf, Event, Timeout
 from repro.engine.process import Coroutine, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.metrics import MetricsRegistry
 
 
 class Simulator:
@@ -24,6 +27,10 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._crashes: list[tuple[Process, BaseException]] = []
+        #: Events executed by :meth:`run` — the engine's own telemetry.
+        self.events_executed: int = 0
+        #: Set by :meth:`repro.trace.metrics.MetricsRegistry.attach`.
+        self.metrics: "Optional[MetricsRegistry]" = None
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -124,6 +131,7 @@ class Simulator:
                 break
             when, _, fn, args = pop(queue)
             self.now = when
+            self.events_executed += 1
             fn(*args)
             if stop_event is not None and stop_event.triggered:
                 if stop_event.ok:

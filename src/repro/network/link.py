@@ -55,6 +55,17 @@ class TorusLink:
         self.packets_carried += 1
         self.bytes_carried += wire_bytes
 
+    @property
+    def peak_queue_length(self) -> int:
+        """Deepest head-of-line queue ever observed on this direction."""
+        return self.channel.peak_queue_length
+
     def utilization(self, elapsed_ns: float | None = None) -> float:
-        """Fraction of time the channel was streaming bits."""
+        """Fraction of time the channel was streaming bits.
+
+        Returns 0.0 for a zero-length window (``elapsed_ns == 0`` or a
+        query at simulated time 0) instead of dividing by zero.
+        """
+        if elapsed_ns is not None and elapsed_ns <= 0:
+            return 0.0
         return self.channel.utilization(elapsed_ns)

@@ -52,6 +52,7 @@ from repro.network.link import LinkId, TorusLink
 from repro.network.multicast import MulticastPattern
 from repro.network.packet import Packet
 from repro.topology.torus import Hop, NodeCoord, Torus3D
+from repro.trace.flight import FlightRecorder, NullFlightRecorder, active_flight
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.asic.client import NetworkClient
@@ -78,6 +79,12 @@ class Network:
         keeps the network deterministic and calibrated.
     seed:
         Seed for the jitter RNG (jitter is still reproducible).
+    flight:
+        Optional :class:`~repro.trace.flight.FlightRecorder` observing
+        every packet's causal spans.  Defaults to the ambient recorder
+        (:func:`~repro.trace.flight.active_flight`), which is the
+        zero-cost null recorder unless telemetry was switched on; the
+        transport guards every hook behind ``flight.enabled``.
     """
 
     def __init__(
@@ -86,9 +93,11 @@ class Network:
         torus: Torus3D,
         reorder_jitter_ns: float = 0.0,
         seed: int = 0,
+        flight: "FlightRecorder | NullFlightRecorder | None" = None,
     ) -> None:
         self.sim = sim
         self.torus = torus
+        self.flight = flight if flight is not None else active_flight()
         self.reorder_jitter_ns = reorder_jitter_ns
         self._rng = random.Random(seed)
         self._links: dict[tuple, TorusLink] = {}
@@ -178,6 +187,9 @@ class Network:
         destination client (all of them, for multicast).
         """
         self.packets_injected += 1
+        fl = self.flight
+        if fl.enabled:
+            fl.packet_injected(packet, self.sim.now)
         done = Event(self.sim, name="delivered")
         if packet.is_multicast:
             _McastTransit(self, packet, done)
@@ -218,6 +230,9 @@ class Network:
                 f"{client_name!r} at {node}"
             )
         self.packets_delivered += 1
+        fl = self.flight
+        if fl.enabled:
+            fl.packet_delivered(packet, node, client_name, self.sim.now)
         client.receive(packet)
 
 
@@ -252,6 +267,9 @@ class _UcastTransit:
         if link.channel.try_acquire():
             self._granted(link, hop)
         else:
+            fl = net.flight
+            if fl.enabled:
+                fl.hop_enqueued(self.packet, link, net.sim.now)
             req = link.channel.request()
             req.add_callback(lambda _ev, link=link, hop=hop: self._granted(link, hop))
 
@@ -260,6 +278,9 @@ class _UcastTransit:
         packet = self.packet
         link.record(packet.wire_bytes)
         net.link_traversals += 1
+        fl = net.flight
+        if fl.enabled:
+            fl.hop_granted(packet, link, net.sim.now)
         net.sim.schedule(packet.serialization_ns, link.channel.release)
         latency = LINK_COST_NS[hop.dim]
         if self.idx == 0:
@@ -335,6 +356,9 @@ class _McastTransit:
             if link.channel.try_acquire():
                 self._granted(node, dim, sign, link, first_link)
             else:
+                fl = net.flight
+                if fl.enabled:
+                    fl.hop_enqueued(packet, link, net.sim.now)
                 req = link.channel.request()
                 req.add_callback(
                     lambda _ev, node=node, dim=dim, sign=sign, link=link,
@@ -373,6 +397,9 @@ class _McastTransit:
         packet = self.packet
         link.record(packet.wire_bytes)
         net.link_traversals += 1
+        fl = net.flight
+        if fl.enabled:
+            fl.hop_granted(packet, link, net.sim.now)
         net.sim.schedule(packet.serialization_ns, link.channel.release)
         latency = LINK_COST_NS[dim] + MULTICAST_LOOKUP_NS
         if first_link:

@@ -1,0 +1,318 @@
+"""The packet flight recorder: per-packet causal spans through the torus.
+
+Anton's on-chip logic analyzer is what made the paper's Fig. 13
+timeline and Table 3 critical-path split measurable; this module is
+the network-side half of that instrument.  When a
+:class:`FlightRecorder` is attached to a
+:class:`~repro.network.network.Network`, every packet's life is
+recorded as a causal chain of spans:
+
+    inject → (per hop: queue-wait → link occupancy) → deliver(s)
+
+and every link direction accumulates a queue-depth time series, so
+congestion is visible per link, per nanosecond.  The recorder is a
+passive observer: it reads timestamps the transport already has and
+never schedules events, so an instrumented run is simulation-identical
+to an uninstrumented one (verified by the test suite and by
+``benchmarks/bench_trace_overhead.py``).
+
+Zero cost when disabled: the network's default recorder is the
+module-level :data:`NULL_FLIGHT` singleton whose ``enabled`` flag is
+``False``; the transport hot path guards every hook behind that flag,
+so a run without telemetry pays one attribute load and boolean test
+per hook site and allocates nothing.
+
+Exporters for the recorded data (Chrome/Perfetto ``trace_event`` JSON,
+JSONL, text summary) live in :mod:`repro.trace.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.link import TorusLink
+    from repro.network.packet import Packet
+    from repro.trace.metrics import MetricsRegistry
+
+
+@dataclass(slots=True)
+class HopRecord:
+    """One link traversal of one packet.
+
+    ``enqueue_ns`` is when the packet first asked for the link
+    direction; ``grant_ns`` when the channel was granted (equal when
+    the link was free); ``release_ns`` when the packet's last bit left
+    the injecting node (grant + serialization time).
+    """
+
+    link: str
+    dim: str
+    sign: int
+    enqueue_ns: float
+    grant_ns: float
+    release_ns: float
+    queue_depth: int  # waiters ahead of this packet at enqueue time
+
+    @property
+    def wait_ns(self) -> float:
+        """Head-of-line blocking time spent queued for the channel."""
+        return self.grant_ns - self.enqueue_ns
+
+    @property
+    def occupancy_ns(self) -> float:
+        return self.release_ns - self.grant_ns
+
+
+@dataclass(slots=True)
+class Delivery:
+    """One arrival at one destination client."""
+
+    node: tuple
+    client: str
+    time_ns: float
+
+
+@dataclass
+class PacketFlight:
+    """The full recorded life of one packet."""
+
+    packet_id: int
+    kind: str
+    src_node: tuple
+    src_client: str
+    dst_node: tuple
+    dst_client: str
+    payload_bytes: int
+    wire_bytes: int
+    multicast: bool
+    in_order: bool
+    inject_ns: float
+    hops: list[HopRecord] = field(default_factory=list)
+    deliveries: list[Delivery] = field(default_factory=list)
+
+    @property
+    def delivered_ns(self) -> Optional[float]:
+        """Time of the last delivery (``None`` while in flight)."""
+        if not self.deliveries:
+            return None
+        return self.deliveries[-1].time_ns
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        done = self.delivered_ns
+        return None if done is None else done - self.inject_ns
+
+    @property
+    def queue_wait_ns(self) -> float:
+        """Total time this packet spent blocked on busy links."""
+        return sum(h.wait_ns for h in self.hops)
+
+
+class NullFlightRecorder:
+    """The do-nothing recorder guarding the disabled fast path.
+
+    The transport checks ``recorder.enabled`` before calling any hook,
+    so these methods exist only as a safety net for direct callers.
+    """
+
+    enabled = False
+    metrics: "Optional[MetricsRegistry]" = None
+
+    def packet_injected(self, packet: "Packet", now: float) -> None:
+        pass
+
+    def hop_enqueued(self, packet: "Packet", link: "TorusLink", now: float) -> None:
+        pass
+
+    def hop_granted(self, packet: "Packet", link: "TorusLink", now: float) -> None:
+        pass
+
+    def packet_delivered(
+        self, packet: "Packet", node: tuple, client: str, now: float
+    ) -> None:
+        pass
+
+
+#: Shared default recorder for every uninstrumented network.
+NULL_FLIGHT = NullFlightRecorder()
+
+
+class FlightRecorder:
+    """Records per-packet causal spans and per-link congestion series.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.trace.metrics.MetricsRegistry`; when
+        given, the recorder feeds it aggregate telemetry as packets
+        fly: ``net.packets_injected`` / ``net.packets_delivered`` /
+        ``net.link_traversals`` counters, a ``net.packet_latency_ns``
+        histogram (inject → delivery, per delivery), a
+        ``net.hop_wait_ns`` histogram (queue wait per contended hop),
+        and a ``net.queue_depth`` gauge whose high watermark is the
+        worst head-of-line queue seen anywhere.
+    """
+
+    def __init__(self, metrics: "Optional[MetricsRegistry]" = None) -> None:
+        self.enabled = True
+        self.metrics = metrics
+        #: packet_id → flight, in injection order.
+        self.flights: dict[int, PacketFlight] = {}
+        #: link name → [(grant_ns, release_ns, packet_id)], in grant order.
+        self.link_occupancy: dict[str, list[tuple[float, float, int]]] = {}
+        #: link name → [(time_ns, waiting)], sampled at enqueue/grant.
+        self.queue_depth_series: dict[str, list[tuple[float, int]]] = {}
+        #: (packet_id, link name) → (enqueue_ns, observed queue depth).
+        self._pending: dict[tuple[int, str], tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------
+    # hooks (called by the network transport; timestamps passed in so
+    # the recorder works for any simulator)
+    # ------------------------------------------------------------------
+    def packet_injected(self, packet: "Packet", now: float) -> None:
+        self.flights[packet.packet_id] = PacketFlight(
+            packet_id=packet.packet_id,
+            kind=packet.kind.value,
+            src_node=packet.src_node,
+            src_client=packet.src_client,
+            dst_node=packet.dst_node,
+            dst_client=packet.dst_client,
+            payload_bytes=packet.payload_bytes,
+            wire_bytes=packet.wire_bytes,
+            multicast=packet.is_multicast,
+            in_order=packet.in_order,
+            inject_ns=now,
+        )
+        m = self.metrics
+        if m is not None:
+            m.counter("net.packets_injected").inc()
+
+    def hop_enqueued(self, packet: "Packet", link: "TorusLink", now: float) -> None:
+        """The packet found the link busy and joined its queue."""
+        name = repr(link.link_id)
+        # Depth observed just before this packet joins the waiters.
+        depth = link.channel.queue_length
+        self._pending[(packet.packet_id, name)] = (now, depth)
+        self.queue_depth_series.setdefault(name, []).append((now, depth + 1))
+        m = self.metrics
+        if m is not None:
+            g = m.gauge("net.queue_depth")
+            g.set(depth + 1)
+
+    def hop_granted(self, packet: "Packet", link: "TorusLink", now: float) -> None:
+        """The packet acquired the channel and starts streaming."""
+        name = repr(link.link_id)
+        lid = link.link_id
+        enqueue_ns, depth = self._pending.pop((packet.packet_id, name), (now, 0))
+        release = now + packet.serialization_ns
+        hop = HopRecord(
+            link=name,
+            dim=lid.dim,
+            sign=lid.sign,
+            enqueue_ns=enqueue_ns,
+            grant_ns=now,
+            release_ns=release,
+            queue_depth=depth,
+        )
+        flight = self.flights.get(packet.packet_id)
+        if flight is not None:
+            flight.hops.append(hop)
+        self.link_occupancy.setdefault(name, []).append(
+            (now, release, packet.packet_id)
+        )
+        if enqueue_ns != now:
+            # The grant drains one waiter; sample the shrinking queue.
+            self.queue_depth_series.setdefault(name, []).append(
+                (now, link.channel.queue_length)
+            )
+        m = self.metrics
+        if m is not None:
+            m.counter("net.link_traversals").inc()
+            if enqueue_ns != now:
+                m.histogram("net.hop_wait_ns").observe(now - enqueue_ns)
+
+    def packet_delivered(
+        self, packet: "Packet", node: tuple, client: str, now: float
+    ) -> None:
+        flight = self.flights.get(packet.packet_id)
+        if flight is not None:
+            flight.deliveries.append(Delivery(node=node, client=client, time_ns=now))
+            m = self.metrics
+            if m is not None:
+                m.counter("net.packets_delivered").inc()
+                m.histogram("net.packet_latency_ns").observe(now - flight.inject_ns)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def packets(self) -> list[PacketFlight]:
+        """All recorded flights, in injection order."""
+        return list(self.flights.values())
+
+    def flight(self, packet_id: int) -> PacketFlight:
+        return self.flights[packet_id]
+
+    def links(self) -> list[str]:
+        """All link directions that saw traffic or queueing, sorted."""
+        return sorted(set(self.link_occupancy) | set(self.queue_depth_series))
+
+    def max_queue_depth(self, link: Optional[str] = None) -> int:
+        """Deepest observed wait queue (one link, or anywhere)."""
+        series: Iterator[tuple[float, int]]
+        if link is not None:
+            series = iter(self.queue_depth_series.get(link, []))
+        else:
+            series = (
+                sample for s in self.queue_depth_series.values() for sample in s
+            )
+        return max((depth for _, depth in series), default=0)
+
+    def link_busy_ns(self, link: str) -> float:
+        """Total serialization time streamed on a link direction."""
+        return sum(release - grant for grant, release, _ in
+                   self.link_occupancy.get(link, []))
+
+    def contended_hops(self) -> int:
+        """Number of recorded hops that had to queue."""
+        return sum(
+            1 for f in self.flights.values() for h in f.hops if h.wait_ns > 0
+        )
+
+    def clear(self) -> None:
+        self.flights.clear()
+        self.link_occupancy.clear()
+        self.queue_depth_series.clear()
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self.flights)
+
+
+# ---------------------------------------------------------------------------
+# Ambient recorder
+# ---------------------------------------------------------------------------
+#: Recorder picked up by every Network constructed while it is active.
+#: The measurement harnesses in repro.analysis build their machines
+#: internally; the ambient recorder instruments them without threading
+#: a parameter through every call signature.
+_active_flight: "FlightRecorder | NullFlightRecorder" = NULL_FLIGHT
+
+
+def active_flight() -> "FlightRecorder | NullFlightRecorder":
+    """The recorder new networks attach at construction time."""
+    return _active_flight
+
+
+@contextmanager
+def use_flight(recorder: FlightRecorder) -> Iterator[FlightRecorder]:
+    """Install ``recorder`` as the ambient flight recorder for the block."""
+    global _active_flight
+    prev = _active_flight
+    _active_flight = recorder
+    try:
+        yield recorder
+    finally:
+        _active_flight = prev

@@ -1,0 +1,337 @@
+"""A lightweight metrics registry: counters, gauges, and ns-scale
+latency histograms with percentile queries.
+
+Anton's follow-up network paper (Shim et al., arXiv:2201.08357)
+justifies design choices with per-channel counters and utilization
+telemetry; production training/inference stacks expose the same three
+primitives.  This module provides them for the simulated machine:
+
+* :class:`Counter` — a monotonically increasing count (packets
+  injected, all-reduce runs, …);
+* :class:`Gauge` — a value that moves both ways, with high/low
+  watermarks (FIFO depth, outstanding packets);
+* :class:`Histogram` — a distribution of observations with exact
+  percentile queries (p50/p90/p99 end-to-end packet latency,
+  per-hop queue wait).
+
+A :class:`MetricsRegistry` names and owns the metrics.  It can be
+attached to any :class:`~repro.engine.simulator.Simulator` (the
+simulator then carries it as ``sim.metrics``), or installed as the
+ambient registry with :func:`use_registry` so that instrumented
+subsystems (the network flight recorder, the collectives, the
+migration protocol) find it without parameter threading.
+
+All of this is pull-based bookkeeping on plain Python numbers: no
+clocks are read, no events are scheduled, and recording never perturbs
+simulated time — two runs with and without metrics produce identical
+simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} is monotonic; cannot inc({amount})"
+            )
+        self._value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """A value that can move both ways, with high/low watermarks."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._hi = -math.inf
+        self._lo = math.inf
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def high_watermark(self) -> float:
+        """Highest value ever set (``-inf`` before the first set)."""
+        return self._hi
+
+    @property
+    def low_watermark(self) -> float:
+        """Lowest value ever set (``inf`` before the first set)."""
+        return self._lo
+
+    def set(self, value: float) -> None:
+        self._value = value
+        if value > self._hi:
+            self._hi = value
+        if value < self._lo:
+            self._lo = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self._value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self._value - amount)
+
+    def snapshot(self) -> dict:
+        out = {"type": self.kind, "value": self._value}
+        if self._hi >= self._lo:  # at least one set() happened
+            out["high_watermark"] = self._hi
+            out["low_watermark"] = self._lo
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self._value}>"
+
+
+class Histogram:
+    """An exact-value distribution with percentile queries.
+
+    Observations are kept verbatim (simulation scale makes this cheap:
+    even a full MD step observes at most a few hundred thousand
+    latencies) and sorted lazily on the first percentile query after an
+    observation, so the common record-everything-then-report pattern
+    sorts once.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: list[float] = []
+        self._sorted: Optional[list[float]] = None
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+        self._sum += value
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        self._ensure_sorted()
+        return self._sorted[0]  # type: ignore[index]
+
+    @property
+    def max(self) -> float:
+        self._ensure_sorted()
+        return self._sorted[-1]  # type: ignore[index]
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100].
+
+        Raises :class:`ValueError` on an empty histogram — an absent
+        distribution has no percentiles, and silently returning 0 has
+        masked real bugs in enough telemetry stacks to be worth the
+        explicit failure.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        self._ensure_sorted()
+        values = self._sorted
+        assert values is not None
+        rank = math.ceil(p / 100.0 * len(values))
+        return values[max(0, rank - 1)]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def _ensure_sorted(self) -> None:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+
+    def snapshot(self) -> dict:
+        if not self._values:
+            return {"type": self.kind, "count": 0}
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics for one run, attachable to any simulator.
+
+    Metrics are created on first use (``registry.counter("x").inc()``),
+    mirroring how :class:`~repro.asic.client.NetworkClient` creates
+    synchronization counters lazily.  Asking for an existing name with
+    a different metric type is an error — the registry is the single
+    source of truth for what a name means.
+    """
+
+    def __init__(self, sim: "Optional[Simulator]" = None) -> None:
+        self.sim = sim
+        self._metrics: dict[str, Metric] = {}
+
+    def attach(self, sim: "Simulator") -> "MetricsRegistry":
+        """Bind to a simulator; the simulator carries ``sim.metrics``."""
+        self.sim = sim
+        sim.metrics = self
+        return self
+
+    # -- creation / lookup -------------------------------------------------
+    def _get_or_create(self, cls: type, name: str, help: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-data dump of every metric, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def summary(self, title: str = "Metrics") -> str:
+        """Text rendering of the registry, one row per metric."""
+        # Local import: repro.analysis pulls in the asic/network stack,
+        # which itself imports repro.trace — keep the package cycle-free.
+        from repro.analysis.report import render_table
+
+        rows = []
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Counter):
+                rows.append([name, "counter", m.value, "", "", ""])
+            elif isinstance(m, Gauge):
+                hi = m.high_watermark if m.high_watermark != -math.inf else ""
+                rows.append([name, "gauge", m.value, "", "", hi])
+            else:
+                if m.count == 0:
+                    rows.append([name, "histogram", 0, "", "", ""])
+                else:
+                    rows.append(
+                        [name, "histogram", m.count, m.p50, m.p90, m.p99]
+                    )
+        return render_table(
+            title,
+            ["metric", "type", "value/count", "p50", "p90", "p99"],
+            rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ambient registry
+# ---------------------------------------------------------------------------
+#: The ambient registry consulted by instrumented subsystems (comm
+#: collectives, migration, the CLI's --metrics flag).  ``None`` means
+#: "no metrics" and costs instrumented code a single load + is-None test.
+_active_registry: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The ambient registry, or ``None`` when metrics are off."""
+    return _active_registry
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient registry for the block."""
+    global _active_registry
+    prev = _active_registry
+    _active_registry = registry
+    try:
+        yield registry
+    finally:
+        _active_registry = prev

@@ -1,0 +1,74 @@
+"""Property-based tests for the metrics registry."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.metrics import Counter, Histogram
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite, min_size=1, max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_percentiles_bounded_and_ordered(values):
+    h = Histogram("h")
+    for v in values:
+        h.observe(v)
+    assert h.min == min(values)
+    assert h.max == max(values)
+    assert h.min <= h.p50 <= h.p90 <= h.p99 <= h.max
+    assert h.percentile(0) == h.min
+    assert h.percentile(100) == h.max
+
+
+@given(st.lists(finite, min_size=1, max_size=200),
+       st.floats(0.0, 100.0, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_percentile_is_an_observed_value(values, p):
+    """Nearest-rank percentiles never interpolate: the answer is
+    always one of the observations."""
+    h = Histogram("h")
+    for v in values:
+        h.observe(v)
+    assert h.percentile(p) in values
+
+
+@given(st.lists(finite, min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_percentile_monotone_in_p(values):
+    h = Histogram("h")
+    for v in values:
+        h.observe(v)
+    results = [h.percentile(p) for p in range(0, 101, 5)]
+    assert results == sorted(results)
+
+
+@given(st.lists(finite, min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_count_sum_mean_consistent(values):
+    h = Histogram("h")
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert math.isclose(h.sum, math.fsum(values), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(h.mean, math.fsum(values) / len(values),
+                        rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(st.one_of(st.integers(0, 10**6),
+                          st.floats(0.0, 1e9, allow_nan=False)),
+                max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_counter_is_monotone_under_any_increments(increments):
+    c = Counter("c")
+    last = c.value
+    for amount in increments:
+        c.inc(amount)
+        assert c.value >= last
+        last = c.value
+    assert math.isclose(c.value, math.fsum(increments), rel_tol=1e-9,
+                        abs_tol=1e-6)

@@ -1,0 +1,220 @@
+"""Unit tests for the packet flight recorder (trace/flight.py)."""
+
+import pytest
+
+from tests.conftest import run_exchange
+
+from repro.asic import build_machine
+from repro.engine import Simulator
+from repro.network.multicast import compile_pattern
+from repro.network.packet import WritePacket
+from repro.trace.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    active_flight,
+    use_flight,
+)
+from repro.trace.metrics import MetricsRegistry
+
+
+def traced_machine(shape=(2, 2, 2)):
+    sim = Simulator()
+    fl = FlightRecorder(metrics=MetricsRegistry())
+    with use_flight(fl):
+        machine = build_machine(sim, *shape)
+    return sim, machine, fl
+
+
+class TestAttachment:
+    def test_default_network_uses_null_recorder(self, machine222):
+        assert machine222.network.flight is NULL_FLIGHT
+        assert machine222.network.flight.enabled is False
+
+    def test_ambient_recorder_picked_up_at_construction(self):
+        sim, machine, fl = traced_machine()
+        assert machine.network.flight is fl
+        # The context exited; new networks go back to the null recorder.
+        assert active_flight() is NULL_FLIGHT
+
+    def test_explicit_flight_argument(self):
+        from repro.network.network import Network
+        from repro.topology.torus import Torus3D
+
+        sim = Simulator()
+        fl = FlightRecorder()
+        net = Network(sim, Torus3D(2, 2, 2), flight=fl)
+        assert net.flight is fl
+
+
+class TestUnicastSpans:
+    def test_hop_count_equals_route_length(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 1, 0)).slice(0)
+        run_exchange(sim, src, dst)
+        [flight] = fl.packets()
+        route = machine.torus.route((0, 0, 0), (1, 1, 0))
+        assert len(flight.hops) == len(route) == 2
+        assert [(h.dim, h.sign) for h in flight.hops] == [
+            (hop.dim, hop.sign) for hop in route
+        ]
+
+    def test_span_nesting_and_causality(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 1, 0)).slice(0)
+        run_exchange(sim, src, dst, payload_bytes=64)
+        [flight] = fl.packets()
+        t = flight.inject_ns
+        for hop in flight.hops:
+            assert t <= hop.enqueue_ns <= hop.grant_ns < hop.release_ns
+            t = hop.grant_ns  # next hop starts after this grant
+        assert flight.deliveries[-1].time_ns >= flight.hops[-1].grant_ns
+        assert flight.latency_ns > 0
+        assert flight.payload_bytes == 64
+
+    def test_uncontended_hop_has_no_wait(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 0, 0)).slice(0)
+        run_exchange(sim, src, dst)
+        [flight] = fl.packets()
+        assert flight.queue_wait_ns == 0.0
+        assert fl.contended_hops() == 0
+        assert all(h.queue_depth == 0 for h in flight.hops)
+
+    def test_delivery_records_destination(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((0, 0, 1)).slice(0)
+        run_exchange(sim, src, dst)
+        [flight] = fl.packets()
+        [d] = flight.deliveries
+        assert tuple(d.node) == (0, 0, 1)
+        assert d.client == "slice0"
+
+
+class TestContention:
+    def make_contended_run(self):
+        """Two slices on one node send 256 B to the same neighbour at
+        the same time: they share the single outgoing link."""
+        sim, machine, fl = traced_machine()
+        a0 = machine.node((0, 0, 0)).slice(0)
+        a1 = machine.node((0, 0, 0)).slice(1)
+        dst = machine.node((1, 0, 0)).slice(0)
+        dst.memory.allocate("rx", 2)
+
+        def send(s, slot):
+            yield from s.send_write(
+                (1, 0, 0), "slice0", counter_id="c", address=("rx", slot),
+                payload_bytes=256,
+            )
+
+        def recv():
+            yield from dst.poll("c", 2)
+
+        procs = [
+            sim.process(send(a0, 0)),
+            sim.process(send(a1, 1)),
+            sim.process(recv()),
+        ]
+        sim.run(until=sim.all_of(procs))
+        return fl
+
+    def test_queue_wait_recorded(self):
+        fl = self.make_contended_run()
+        waits = [f.queue_wait_ns for f in fl.packets()]
+        assert fl.contended_hops() == 1
+        assert max(waits) > 0
+        assert min(waits) == 0  # the winner streamed immediately
+
+    def test_queue_depth_series(self):
+        fl = self.make_contended_run()
+        [link] = [
+            name for name, s in fl.queue_depth_series.items() if s
+        ]
+        depths = [d for _, d in fl.queue_depth_series[link]]
+        assert max(depths) == 1  # one waiter behind the winner
+        assert depths[-1] == 0  # drained by the end
+        assert fl.max_queue_depth() == 1
+        assert fl.max_queue_depth(link) == 1
+
+    def test_metrics_fed(self):
+        fl = self.make_contended_run()
+        m = fl.metrics
+        assert m.counter("net.packets_injected").value == 2
+        assert m.counter("net.packets_delivered").value == 2
+        assert m.counter("net.link_traversals").value == 2
+        assert m.histogram("net.hop_wait_ns").count == 1
+        assert m.histogram("net.packet_latency_ns").count == 2
+        assert m.gauge("net.queue_depth").high_watermark == 1
+
+    def test_link_busy_time_is_serialization(self):
+        fl = self.make_contended_run()
+        [link] = [n for n, occ in fl.link_occupancy.items() if len(occ) == 2]
+        # Two 256 B packets: busy time is twice one serialization.
+        per_packet = fl.link_busy_ns(link) / 2
+        assert per_packet == pytest.approx((32 + 256) * 8.0 / 36.8)
+
+
+class TestMulticast:
+    def test_hops_match_compiled_tree(self):
+        sim, machine, fl = traced_machine()
+        net = machine.network
+        targets = {(1, 0, 0): ("slice0",), (0, 1, 0): ("slice0",),
+                   (1, 1, 0): ("slice0",)}
+        for node in targets:
+            machine.node(node).slice(0).memory.allocate("mc", 1)
+        pattern = compile_pattern(net.torus, (0, 0, 0), targets)
+        pattern_id = net.register_pattern(pattern)
+        packet = WritePacket(
+            src_node=net.torus.coord((0, 0, 0)), src_client="slice0",
+            dst_node=net.torus.coord((0, 0, 0)), dst_client="slice0",
+            counter_id="mc", address=("mc", 0), pattern_id=pattern_id,
+        )
+        done = net.inject(packet)
+        sim.run(until=done)
+        [flight] = fl.packets()
+        assert flight.multicast
+        assert len(flight.hops) == pattern.total_link_traversals
+        assert len(flight.deliveries) == len(targets)
+
+
+class TestNonPerturbation:
+    def test_recording_does_not_change_simulated_time(self):
+        def measure(traced):
+            sim = Simulator()
+            if traced:
+                fl = FlightRecorder()
+                with use_flight(fl):
+                    machine = build_machine(sim, 2, 2, 2)
+            else:
+                machine = build_machine(sim, 2, 2, 2)
+            src = machine.node((0, 0, 0)).slice(0)
+            dst = machine.node((1, 0, 0)).slice(0)
+            return run_exchange(sim, src, dst)
+
+        assert measure(traced=False) == measure(traced=True) == 162.0
+
+    def test_disabling_mid_run_stops_recording(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 0, 0)).slice(0)
+        run_exchange(sim, src, dst)
+        fl.enabled = False
+        run_exchange(sim, src, dst, counter="c2")
+        assert len(fl) == 1
+
+    def test_null_recorder_hooks_are_noops(self):
+        null = NullFlightRecorder()
+        null.packet_injected(None, 0.0)
+        null.hop_enqueued(None, None, 0.0)
+        null.hop_granted(None, None, 0.0)
+        null.packet_delivered(None, (0, 0, 0), "slice0", 0.0)
+
+    def test_clear(self):
+        fl = TestContention().make_contended_run()
+        fl.clear()
+        assert len(fl) == 0
+        assert fl.links() == []
