@@ -61,7 +61,7 @@ def _round(via_accum: bool, shape):
     return sim.now
 
 
-def bench_ablation_accum_reduce(benchmark, publish):
+def bench_ablation_accum_reduce(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
 
     def run():
@@ -84,4 +84,8 @@ def bench_ablation_accum_reduce(benchmark, publish):
         f"{ACCUM_POLL_NS:.0f} ns cross-ring accumulation-counter poll + readback"
     )
     publish("ablation_accum_reduce", text)
+    record("ablation_accum_reduce", "slice_sum_round_ns", via_slice, "ns",
+           shape=list(shape), sources=SOURCES, words=WORDS)
+    record("ablation_accum_reduce", "accum_sum_round_ns", via_accum, "ns",
+           shape=list(shape), sources=SOURCES, words=WORDS)
     assert via_slice < via_accum, "the paper's design choice must win"

@@ -100,7 +100,7 @@ def _cluster(direct: bool):
     return sim.now
 
 
-def bench_ablation_direct_vs_staged(benchmark, publish):
+def bench_ablation_direct_vs_staged(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
 
     def run():
@@ -123,5 +123,13 @@ def bench_ablation_direct_vs_staged(benchmark, publish):
         "cluster favours staging (message count dominates)"
     )
     publish("ablation_direct_vs_staged", text)
+    record("ablation_direct_vs_staged", "anton_direct_ns", a_direct, "ns",
+           shape=list(shape), chunk_bytes=CHUNK)
+    record("ablation_direct_vs_staged", "anton_staged_ns", a_staged, "ns",
+           shape=list(shape), chunk_bytes=CHUNK)
+    record("ablation_direct_vs_staged", "cluster_direct_ns", c_direct, "ns",
+           chunk_bytes=CHUNK)
+    record("ablation_direct_vs_staged", "cluster_staged_ns", c_staged, "ns",
+           chunk_bytes=CHUNK)
     assert a_direct < a_staged, "Anton must prefer direct exchange"
     assert c_staged < c_direct, "the cluster must prefer staged exchange"

@@ -57,7 +57,7 @@ def _run(use_multicast: bool, shape):
     return sim.now, machine.network.link_traversals, len(imports)
 
 
-def bench_ablation_multicast(benchmark, publish):
+def bench_ablation_multicast(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
 
     def run():
@@ -78,5 +78,13 @@ def bench_ablation_multicast(benchmark, publish):
         f"{trav_uc / trav_mc:.1f}x link bandwidth"
     )
     publish("ablation_multicast", text)
+    record("ablation_multicast", "multicast_completion_ns", t_mc, "ns",
+           shape=list(shape))
+    record("ablation_multicast", "unicast_completion_ns", t_uc, "ns",
+           shape=list(shape))
+    record("ablation_multicast", "multicast_link_traversals",
+           float(trav_mc), "traversals", shape=list(shape))
+    record("ablation_multicast", "unicast_link_traversals",
+           float(trav_uc), "traversals", shape=list(shape))
     assert t_mc < t_uc
     assert trav_mc < trav_uc

@@ -67,7 +67,7 @@ def _run(priority_on: bool, shape):
     return far_wait.value  # time the farthest origin's forces landed
 
 
-def bench_ablation_priority_queue(benchmark, publish):
+def bench_ablation_priority_queue(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
 
     def run():
@@ -88,4 +88,8 @@ def bench_ablation_priority_queue(benchmark, publish):
         "long-haul send latency behind the remaining HTIS computation"
     )
     publish("ablation_priority_queue", text)
+    record("ablation_priority_queue", "priority_on_ns", with_pri, "ns",
+           shape=list(shape), origins=ORIGINS, packets=PACKETS)
+    record("ablation_priority_queue", "priority_off_ns", without_pri, "ns",
+           shape=list(shape), origins=ORIGINS, packets=PACKETS)
     assert with_pri < without_pri

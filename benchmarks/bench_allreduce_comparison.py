@@ -27,7 +27,7 @@ from repro.constants import BGL_TREE_ALLREDUCE_512_NS
 from repro.engine import Simulator
 
 
-def bench_allreduce_comparison(benchmark, publish):
+def bench_allreduce_comparison(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
     nodes = shape[0] * shape[1] * shape[2]
 
@@ -60,6 +60,12 @@ def bench_allreduce_comparison(benchmark, publish):
     )
     text += f"\n\nAnton vs InfiniBand cluster: {t_ib / t_do:.1f}x (paper: ~20x)"
     publish("allreduce_comparison", text)
+    record("allreduce_comparison", "dimension_ordered_32B_us", t_do, "us",
+           shape=list(shape), payload_bytes=32)
+    record("allreduce_comparison", "butterfly_32B_us", t_bf, "us",
+           shape=list(shape), payload_bytes=32)
+    record("allreduce_comparison", "infiniband_32B_us", t_ib, "us",
+           nodes=nodes, payload_bytes=32)
     assert t_do < t_bf, "dimension-ordered must beat the butterfly"
     if shape == (8, 8, 8):
         assert 14.0 < t_ib / t_do < 28.0  # paper: 20x

@@ -17,7 +17,7 @@ PAYLOADS = (4, 8, 16, 24, 28, 32, 48, 64, 96, 128, 192, 256)
 COMPARISON = {"Blue Gene/L": 1_400, "Red Storm": 16_000, "ASC Purple": 39_000}
 
 
-def bench_bandwidth_efficiency(benchmark, publish):
+def bench_bandwidth_efficiency(benchmark, publish, record):
     effs = once(
         benchmark,
         lambda: [bandwidth_efficiency(p) for p in PAYLOADS],
@@ -33,6 +33,11 @@ def bench_bandwidth_efficiency(benchmark, publish):
     text += f"\n\n50% of max data bandwidth at {p50} B (paper: 28 B); "
     text += ", ".join(f"{m}: {b:,} B" for m, b in COMPARISON.items())
     publish("bandwidth_efficiency", text)
+    record("bandwidth_efficiency", "half_bandwidth_payload_bytes",
+           float(p50), "bytes")
+    record("bandwidth_efficiency", "efficiency_28B",
+           effs[PAYLOADS.index(28)], "fraction", better="higher",
+           payload_bytes=28)
     assert 24 <= p50 <= 32
     # Three orders of magnitude below the best commodity comparison.
     assert min(COMPARISON.values()) / p50 > 40

@@ -13,7 +13,7 @@ from repro.analysis import render_series
 from repro.analysis.mdstep import fig11_series
 
 
-def bench_fig11(benchmark, publish):
+def bench_fig11(benchmark, publish, record):
     shape = md_shape()
     epochs = 4 if get_scale() == "quick" else 8
 
@@ -42,6 +42,10 @@ def bench_fig11(benchmark, publish):
         f"{regen_avg:.2f} µs → {gain:.0f}% improvement (paper: 14%)"
     )
     publish("fig11_bond_regen", text)
+    record("fig11_bond_regen", "mean_step_no_regen_us", no_regen_avg, "us",
+           shape=list(shape), epochs=epochs)
+    record("fig11_bond_regen", "mean_step_with_regen_us", regen_avg, "us",
+           shape=list(shape), epochs=epochs)
     # Shape checks: drift makes the no-regen curve climb; regeneration
     # keeps the other curve at/below it everywhere past the start.
     assert points[-1].step_time_no_regen_us > points[0].step_time_no_regen_us

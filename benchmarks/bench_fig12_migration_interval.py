@@ -12,7 +12,7 @@ from repro.analysis.mdstep import fig12_series
 from repro.constants import FIG12_PARTICLES
 
 
-def bench_fig12(benchmark, publish):
+def bench_fig12(benchmark, publish, record):
     shape = md_shape()
     atoms = FIG12_PARTICLES if shape == (8, 8, 8) else FIG12_PARTICLES // 8
 
@@ -39,6 +39,12 @@ def bench_fig12(benchmark, publish):
         "paper: 19%)"
     )
     publish("fig12_migration_interval", text)
+    for p in (points[0], points[-1]):
+        record("fig12_migration_interval",
+               f"step_time_interval{p.migration_interval}_us",
+               p.step_time_us, "us",
+               shape=list(shape), atoms=atoms,
+               interval=p.migration_interval)
     # The curve must fall and flatten: the N=1→2 saving exceeds N=7→8.
     times = [p.step_time_us for p in points]
     assert times[0] > times[-1]

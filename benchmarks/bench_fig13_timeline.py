@@ -12,7 +12,7 @@ from repro.analysis.mdstep import build_dhfr_md, fig13_timeline
 from repro.trace.recorder import ActivityKind
 
 
-def bench_fig13(benchmark, publish):
+def bench_fig13(benchmark, publish, record):
     shape = md_shape()
 
     def run():
@@ -26,6 +26,10 @@ def bench_fig13(benchmark, publish):
         f"({lr.total_us:.1f} µs)\n"
     )
     publish("fig13_timeline", header + text)
+    record("fig13_timeline", "range_limited_step_us", rl.total_us, "us",
+           shape=list(shape))
+    record("fig13_timeline", "long_range_step_us", lr.total_us, "us",
+           shape=list(shape))
     # The long-range step dominates, as in the figure.
     assert lr.total_ns > rl.total_ns
     # Compute units are busy *and* communication dominates overall:

@@ -11,7 +11,7 @@ from conftest import once
 from repro.analysis import latency_vs_hops, render_series
 
 
-def bench_fig5(benchmark, publish):
+def bench_fig5(benchmark, publish, record):
     points = once(benchmark, lambda: latency_vs_hops(shape=(8, 8, 8)))
     text = render_series(
         "Figure 5 — one-way latency (ns) vs network hops (8x8x8 machine)",
@@ -27,6 +27,11 @@ def bench_fig5(benchmark, publish):
     publish("fig5_latency_vs_hops", text)
     one_hop = points[1]
     twelve = points[12]
+    for p in (points[0], one_hop, twelve):
+        record("fig5_latency_vs_hops", f"uni_0B_{p.hops}hop_ns", p.uni_0b,
+               "ns", shape=[8, 8, 8], hops=p.hops, payload_bytes=0)
+    record("fig5_latency_vs_hops", "uni_256B_1hop_ns", one_hop.uni_256b,
+           "ns", shape=[8, 8, 8], hops=1, payload_bytes=256)
     assert one_hop.uni_0b == 162.0, "headline latency must be exact"
     assert twelve.uni_0b == 822.0
     assert 4.5 < twelve.uni_0b / one_hop.uni_0b < 5.5  # "five times higher"

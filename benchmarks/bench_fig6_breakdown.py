@@ -11,7 +11,7 @@ from conftest import once
 from repro.analysis import breakdown_162ns, ping_pong_ns, render_table
 
 
-def bench_fig6(benchmark, publish):
+def bench_fig6(benchmark, publish, record):
     parts = breakdown_162ns()
     measured = once(
         benchmark, lambda: ping_pong_ns((8, 8, 8), (1, 0, 0), 0)
@@ -26,4 +26,6 @@ def bench_fig6(benchmark, publish):
         float_format="{:.1f}",
     )
     publish("fig6_breakdown", text)
+    record("fig6_breakdown", "one_x_hop_ns", measured, "ns",
+           shape=[8, 8, 8], hops=1, payload_bytes=0)
     assert measured == sum(ns for _, ns in parts) == 162.0

@@ -13,7 +13,7 @@ from repro.analysis import render_series, transfer_split_series
 COUNTS = (1, 2, 4, 8, 16, 24, 32, 48, 64)
 
 
-def bench_fig7(benchmark, publish):
+def bench_fig7(benchmark, publish, record):
     points = once(benchmark, lambda: transfer_split_series(2048, COUNTS))
     xs = [p.num_messages for p in points]
     absolute = render_series(
@@ -41,6 +41,14 @@ def bench_fig7(benchmark, publish):
     )
     publish("fig7_message_granularity", absolute + "\n\n" + normalised)
     last = points[-1]
+    for p in (base, last):
+        cfg = dict(total_bytes=2048, num_messages=p.num_messages)
+        record("fig7_message_granularity",
+               f"anton_1hop_{p.num_messages}msg_ns", p.anton_1hop_ns, "ns",
+               hops=1, **cfg)
+        record("fig7_message_granularity",
+               f"infiniband_{p.num_messages}msg_ns", p.infiniband_ns, "ns",
+               **cfg)
     # Anton: modest growth; InfiniBand: large growth (the paper's point).
     assert last.anton_1hop_ns / base.anton_1hop_ns < 4.5
     assert last.infiniband_ns / base.infiniband_ns > 5.0

@@ -14,7 +14,7 @@ from repro.comm import MigrationProtocol
 from repro.engine import Simulator
 
 
-def bench_migration_sync(benchmark, publish):
+def bench_migration_sync(benchmark, publish, record):
     shape = (4, 4, 4) if get_scale() == "quick" else (8, 8, 8)
 
     def run():
@@ -41,6 +41,10 @@ def bench_migration_sync(benchmark, publish):
         ],
     )
     publish("migration_sync", text)
+    record("migration_sync", "empty_migration_us", empty_us, "us",
+           shape=list(shape), moves=0)
+    record("migration_sync", "busy_migration_us", busy_us, "us",
+           shape=list(shape), moves=msgs)
     if shape == (8, 8, 8):
         assert empty_us == pytest.approx(0.56, rel=0.5)
     assert busy_us > empty_us

@@ -12,7 +12,7 @@ from repro.analysis import ping_pong_ns
 from repro.baselines.survey import SURVEY, anton_advantage, survey_table
 
 
-def bench_table1(benchmark, publish):
+def bench_table1(benchmark, publish, record):
     measured_us = once(
         benchmark, lambda: ping_pong_ns((8, 8, 8), (1, 0, 0), 0) / 1000.0
     )
@@ -23,6 +23,8 @@ def bench_table1(benchmark, publish):
         f"(paper: {anton_advantage():.1f}x)"
     )
     publish("table1_survey", text)
+    record("table1_survey", "anton_ping_pong_us", measured_us, "us",
+           shape=[8, 8, 8], hops=1, payload_bytes=0)
     assert round(measured_us, 2) == 0.16
     # Anton beats every surveyed machine by a wide margin.
     assert all(

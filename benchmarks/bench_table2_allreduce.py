@@ -25,7 +25,7 @@ def _measure(shape):
     return r0, r32
 
 
-def bench_table2(benchmark, publish):
+def bench_table2(benchmark, publish, record):
     shapes = SHAPES[:3] if get_scale() == "quick" else SHAPES
 
     def run():
@@ -49,6 +49,13 @@ def bench_table2(benchmark, publish):
         rows,
     )
     publish("table2_allreduce", text)
+    for shape in shapes:
+        r0, r32 = results[shape]
+        tag = f"{shape[0]}x{shape[1]}x{shape[2]}"
+        record("table2_allreduce", f"reduce0_{tag}_us", r0, "us",
+               shape=list(shape), payload_bytes=0)
+        record("table2_allreduce", f"reduce32_{tag}_us", r32, "us",
+               shape=list(shape), payload_bytes=32)
     for shape in shapes:
         r0, r32 = results[shape]
         paper = PAPER_TABLE2_US[shape]

@@ -17,7 +17,7 @@ from repro.constants import PAPER_TABLE3_US
 ROWS = ["average", "range_limited", "long_range", "fft_convolution", "thermostat"]
 
 
-def bench_table3(benchmark, publish):
+def bench_table3(benchmark, publish, record):
     shape = md_shape()
 
     def run():
@@ -53,6 +53,13 @@ def bench_table3(benchmark, publish):
         "(paper: 27x — 'less than 4% that of the next fastest platform')"
     )
     publish("table3_critical_path", text)
+    for name in ROWS:
+        record("table3_critical_path", f"anton_{name}_comm_us",
+               anton[name].communication_us, "us", shape=list(shape), step=name)
+        record("table3_critical_path", f"anton_{name}_total_us",
+               anton[name].total_us, "us", shape=list(shape), step=name)
+    record("table3_critical_path", "desmond_anton_comm_ratio", ratio, "x",
+           better="higher", shape=list(shape))
     if shape == (8, 8, 8):
         # The headline must hold in shape: a huge communication gap.
         assert ratio > 10.0

@@ -33,7 +33,7 @@ def _timed_sweep(mode: str):
     return time.perf_counter() - start, points, flights
 
 
-def bench_trace_overhead(benchmark, publish):
+def bench_trace_overhead(benchmark, publish, record):
     results = once(
         benchmark,
         lambda: {mode: _timed_sweep(mode)
@@ -52,5 +52,12 @@ def bench_trace_overhead(benchmark, publish):
         ["mode", "ms", "vs untraced", "packets recorded"],
         rows,
     ))
+    # Wall-clock overhead ratios are host-dependent (informational,
+    # not baseline-gated); the packet count is deterministic.
+    for mode in ("flight", "metrics"):
+        record("trace_overhead", f"{mode}_overhead_ratio",
+               results[mode][0] / base_s, "x", shape=[4, 4, 4], mode=mode)
+    record("trace_overhead", "packets_recorded",
+           float(results["flight"][2]), "packets", shape=[4, 4, 4])
     assert results["flight"][2] > 0, "flight mode must actually record"
     assert base_points[1].uni_0b == 162.0

@@ -4,10 +4,14 @@ Every benchmark regenerates one table or figure from the paper and
 
 * prints it (visible with ``pytest -s``),
 * writes it to ``benchmarks/results/<name>.txt``,
+* records its headline numbers as machine-readable ``repro-bench/1``
+  JSON in ``benchmarks/results/<name>.json`` (the ``record`` fixture),
 
 so `bench_output.txt` plus the results directory together hold the
-whole reproduced evaluation.  Set ``REPRO_BENCH_SCALE=quick`` to run
-the MD benchmarks on a reduced machine (4×4×4) when iterating.
+whole reproduced evaluation, and CI can diff the JSON against a
+committed baseline (see ``repro.bench.compare``).  Set
+``REPRO_BENCH_SCALE=quick`` to run the MD benchmarks on a reduced
+machine (4×4×4) when iterating.
 """
 
 from __future__ import annotations
@@ -33,6 +37,45 @@ def md_atoms() -> int:
     from repro.constants import DHFR_ATOMS
 
     return DHFR_ATOMS // 8 if get_scale() == "quick" else DHFR_ATOMS
+
+
+@pytest.fixture
+def record(request):
+    """Record machine-readable metrics for the regression pipeline.
+
+    ``record(benchmark, metric, value, units, better="lower",
+    **config)`` — at test teardown all records are grouped by benchmark
+    name and written as ``repro-bench/1`` ResultSet JSON to
+    ``results/<benchmark>.json``.  The scale (quick vs paper) is folded
+    into every config so reduced-scale CI runs never collide with a
+    full-scale baseline.
+    """
+    from repro.bench.results import BenchResult, ResultSet
+
+    collected: list[BenchResult] = []
+
+    def _record(benchmark, metric, value, units, better="lower", **config):
+        config.setdefault("scale", get_scale())
+        collected.append(
+            BenchResult(
+                benchmark=benchmark,
+                metric=metric,
+                value=value,
+                units=units,
+                better=better,
+                config=config,
+            )
+        )
+
+    yield _record
+    if not collected:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    by_name: dict[str, list[BenchResult]] = {}
+    for r in collected:
+        by_name.setdefault(r.benchmark, []).append(r)
+    for name, results in by_name.items():
+        ResultSet(results).write(str(RESULTS_DIR / f"{name}.json"))
 
 
 @pytest.fixture

@@ -10,6 +10,12 @@ Quick access to the headline measurements without writing a script:
 * ``trace``     — record a packet flight trace of an experiment and
   export it as Chrome/Perfetto ``trace_event`` JSON (open the file in
   https://ui.perfetto.dev) and optionally JSONL
+* ``attribute`` — trace-derived latency attribution: run an experiment
+  with the flight recorder on and attribute every nanosecond of the
+  critical packet to Fig. 6's component taxonomy, plus per-phase
+  critical paths and link contention hotspots
+* ``bench``     — run the quick benchmark suite, write ``repro-bench/1``
+  JSON results, and optionally fail on regression vs a baseline file
 
 Every measurement subcommand also takes ``--metrics``, which runs it
 with the telemetry layer attached and prints the metrics registry
@@ -47,6 +53,100 @@ def _run_trace(args: argparse.Namespace) -> int:
     print()
     print(flight_summary(cap.flight, cap.metrics))
     return 0
+
+
+def _run_attribute(args: argparse.Namespace) -> int:
+    from repro.analysis.critical_path import (
+        critical_flight,
+        link_hotspots,
+        phase_reports,
+        render_hotspots,
+        render_phase_reports,
+    )
+    from repro.analysis.attribution import (
+        attribute_path,
+        measure_attribution,
+        render_attribution,
+    )
+    from repro.topology.torus import Torus3D
+
+    if args.experiment == "latency":
+        m = measure_attribution(
+            hops=args.hops, shape=args.shape, payload_bytes=args.payload
+        )
+        print(
+            f"single counted remote write, {m.hops} hop(s) to "
+            f"{m.destination} on {m.shape}, {m.payload_bytes} B payload"
+        )
+        print()
+        print(render_attribution(m.attribution, local_id=0))
+        print()
+        print(f"simulated end-to-end (send start -> poll done): {m.elapsed_ns:.1f} ns")
+        drift = abs(m.attribution.total_ns - m.elapsed_ns)
+        print(f"attributed total - simulated end-to-end: {drift:.3f} ns")
+        return 0 if drift < 1e-6 else 1
+
+    from repro.trace.capture import run_traced
+    from repro.analysis.critical_path import branch_hops
+
+    cap = run_traced(args.experiment, shape=args.shape, rounds=args.rounds)
+    torus = Torus3D(*cap.shape)
+    print(f"captured {args.experiment}: {cap.description}")
+    print()
+    reports = phase_reports(cap.flight, torus)
+    if reports:
+        print(render_phase_reports(reports))
+        print()
+        for r in reports:
+            if r.critical_attribution is not None:
+                print(
+                    render_attribution(
+                        r.critical_attribution,
+                        title=f"Critical path of {r.name}",
+                        local_id=r.critical_local_id,
+                    )
+                )
+                print()
+    else:
+        crit = critical_flight(cap.flight, 0.0, float("inf"))
+        if crit is not None:
+            flight, delivery = crit
+            attr = attribute_path(
+                flight,
+                branch_hops(flight, torus, delivery),
+                delivery,
+                cap.flight.poll_for(flight, delivery),
+            )
+            print(
+                render_attribution(
+                    attr,
+                    title="Critical path of the run",
+                    local_id=cap.flight.local_ids()[flight.packet_id],
+                )
+            )
+            print()
+    print(render_hotspots(link_hotspots(cap.flight, top=args.top)))
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench.compare import compare, render_comparison
+    from repro.bench.results import ResultSet
+    from repro.bench.suite import run_suite
+
+    only = set(args.only) if args.only else None
+    results = run_suite(shape=args.shape, only=only)
+    print(f"ran {len(results)} benchmark metrics on {args.shape}")
+    if args.out:
+        results.write(args.out)
+        print(f"wrote {args.out} (schema repro-bench/1)")
+    if args.compare is None:
+        return 0
+    baseline = ResultSet.read(args.compare)
+    cmp = compare(baseline, results, threshold=args.threshold)
+    print()
+    print(render_comparison(cmp))
+    return 0 if cmp.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,10 +196,45 @@ def main(argv: list[str] | None = None) -> int:
     p_tr.add_argument("--jsonl", default=None,
                       help="also write a JSONL dump to this path")
 
+    p_at = sub.add_parser(
+        "attribute",
+        help="trace-derived latency attribution (Fig. 6 from recorded spans)",
+    )
+    p_at.add_argument("experiment", choices=EXPERIMENTS)
+    p_at.add_argument("--hops", type=int, default=1,
+                      help="network hops for the latency experiment")
+    p_at.add_argument("--shape", type=_parse_shape, default=(8, 8, 8))
+    p_at.add_argument("--payload", type=int, default=0,
+                      help="payload bytes for the latency experiment")
+    p_at.add_argument("--rounds", type=int, default=2,
+                      help="repetitions inside non-latency experiments")
+    p_at.add_argument("--top", type=int, default=10,
+                      help="link hotspots to show (default 10)")
+
+    from repro.bench.suite import SUITE_BENCHMARKS
+
+    p_be = sub.add_parser(
+        "bench",
+        help="run the quick benchmark suite; optionally gate on a baseline",
+    )
+    p_be.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
+    p_be.add_argument("--out", default=None,
+                      help="write repro-bench/1 JSON results to this path")
+    p_be.add_argument("--compare", default=None, metavar="BASELINE",
+                      help="baseline results JSON; exit 1 on regression")
+    p_be.add_argument("--threshold", type=float, default=0.05,
+                      help="max tolerated fractional worsening (default 0.05)")
+    p_be.add_argument("--only", nargs="*", choices=SUITE_BENCHMARKS,
+                      default=None, help="restrict to these benchmarks")
+
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "attribute":
+        return _run_attribute(args)
+    if args.command == "bench":
+        return _run_bench(args)
 
     registry = None
     stack = ExitStack()

@@ -91,8 +91,13 @@ class ProcessingSlice(NetworkClient):
     # -- sending ------------------------------------------------------------
     def _assemble_and_inject(self, packet: Packet) -> Generator[Event, Any, Event]:
         """Occupy the Tensilica for packet assembly, then inject."""
+        begin = self.sim.now
         yield from self.tensilica.use(SLICE_SEND_NS)
-        return self.inject(packet)
+        done = self.inject(packet)
+        fl = self.network.flight
+        if fl.enabled:
+            fl.software_send(packet, begin, self.sim.now)
+        return done
 
     def send_write(
         self,
@@ -185,7 +190,13 @@ class ProcessingSlice(NetworkClient):
         at which the data became usable.
         """
         yield self.counter(counter_id).wait_for(target)
+        trigger = self.sim.now
         yield from self.tensilica.use(POLL_SUCCESS_NS)
+        fl = self.network.flight
+        if fl.enabled:
+            fl.poll_completed(
+                self.node, self.name, counter_id, target, trigger, self.sim.now
+            )
         return self.sim.now
 
     def poll_accum(

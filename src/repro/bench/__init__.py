@@ -1,0 +1,50 @@
+"""The benchmark-regression pipeline.
+
+Three pieces turn ad-hoc benchmark prints into a CI gate:
+
+* :mod:`repro.bench.results` — the ``repro-bench/1`` schema: every
+  benchmark writes :class:`BenchResult` records into deterministic,
+  diffable :class:`ResultSet` JSON files keyed by (benchmark, metric,
+  config hash);
+* :mod:`repro.bench.compare` — diffs a run against a committed
+  baseline with configurable per-metric thresholds and direction-aware
+  regression classification;
+* :mod:`repro.bench.suite` — the curated quick suite behind
+  ``python -m repro bench``, measuring simulated model behaviour
+  (latency, collectives, transfer, migration, bandwidth) so the gate
+  compares physics, not host wall-clock noise.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    Comparison,
+    Delta,
+    compare,
+    render_comparison,
+    threshold_for,
+)
+from repro.bench.results import (
+    SCHEMA,
+    BenchResult,
+    ResultSet,
+    canonical_json,
+    config_hash,
+)
+from repro.bench.suite import DEFAULT_SHAPE, SUITE_BENCHMARKS, run_suite
+
+__all__ = [
+    "BenchResult",
+    "Comparison",
+    "DEFAULT_SHAPE",
+    "DEFAULT_THRESHOLD",
+    "Delta",
+    "ResultSet",
+    "SCHEMA",
+    "SUITE_BENCHMARKS",
+    "canonical_json",
+    "compare",
+    "config_hash",
+    "render_comparison",
+    "run_suite",
+    "threshold_for",
+]

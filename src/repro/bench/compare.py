@@ -1,0 +1,179 @@
+"""Benchmark regression detection: diff two result sets.
+
+:func:`compare` matches a current :class:`~repro.bench.results.ResultSet`
+against a baseline by result key (benchmark, metric, config hash) and
+classifies each pair by its relative change, honouring the metric's
+declared direction (``better: lower`` vs ``better: higher``).  A pair
+whose *worsening* exceeds the threshold is a regression; CI fails the
+build on any (``python -m repro bench --compare baseline.json`` exits
+non-zero).
+
+Thresholds are configurable globally and per metric: the lookup tries
+``"<benchmark>/<metric>"``, then ``"<benchmark>"``, then the default —
+so a single noisy benchmark can get slack without loosening the gate
+for everything else.  The simulator is deterministic, so the default
+threshold is tight; it exists to absorb intentional small model
+retunings, not measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.results import BenchResult, ResultSet
+
+#: Default maximum tolerated fractional worsening (5%).
+DEFAULT_THRESHOLD = 0.05
+
+
+@dataclass(slots=True)
+class Delta:
+    """One baseline/current pair and its classification."""
+
+    baseline: BenchResult
+    current: BenchResult
+    threshold: float
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return self.baseline.key
+
+    @property
+    def change(self) -> float:
+        """Signed relative change, ``(current - baseline) / baseline``.
+
+        A zero baseline only compares equal to zero: any nonzero
+        current value counts as an infinite change in its direction.
+        """
+        if self.baseline.value == 0.0:
+            if self.current.value == 0.0:
+                return 0.0
+            return float("inf") if self.current.value > 0 else float("-inf")
+        return (self.current.value - self.baseline.value) / abs(
+            self.baseline.value
+        )
+
+    @property
+    def worsening(self) -> float:
+        """Relative change in the *bad* direction (≤ 0 when no worse)."""
+        return self.change if self.baseline.better == "lower" else -self.change
+
+    @property
+    def is_regression(self) -> bool:
+        return self.worsening > self.threshold
+
+    @property
+    def is_improvement(self) -> bool:
+        return self.worsening < -self.threshold
+
+
+@dataclass
+class Comparison:
+    """Outcome of diffing a current run against a baseline."""
+
+    deltas: list[Delta] = field(default_factory=list)
+    #: Keys present in the baseline but absent from the current run —
+    #: a silently vanished benchmark would otherwise mask a regression.
+    missing: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Keys the current run added (informational, never failing).
+    added: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.is_regression]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return [d for d in self.deltas if d.is_improvement]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and nothing disappeared."""
+        return not self.regressions and not self.missing
+
+
+def threshold_for(
+    result: BenchResult,
+    default: float = DEFAULT_THRESHOLD,
+    overrides: Optional[dict[str, float]] = None,
+) -> float:
+    """Resolve the regression threshold for one result.
+
+    Most specific wins: ``"<benchmark>/<metric>"`` →
+    ``"<benchmark>"`` → ``default``.
+    """
+    if overrides:
+        for key in (f"{result.benchmark}/{result.metric}", result.benchmark):
+            if key in overrides:
+                return overrides[key]
+    return default
+
+
+def compare(
+    baseline: ResultSet,
+    current: ResultSet,
+    threshold: float = DEFAULT_THRESHOLD,
+    overrides: Optional[dict[str, float]] = None,
+) -> Comparison:
+    """Diff ``current`` against ``baseline``."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    out = Comparison()
+    for base in baseline:
+        cur = current.get(base.key)
+        if cur is None:
+            out.missing.append(base.key)
+            continue
+        out.deltas.append(
+            Delta(
+                baseline=base,
+                current=cur,
+                threshold=threshold_for(base, threshold, overrides),
+            )
+        )
+    out.added = sorted(current.keys() - baseline.keys())
+    return out
+
+
+def render_comparison(cmp: Comparison) -> str:
+    """Plain-text comparison report: every matched pair with its
+    relative change, flagged regressions/improvements, then the keys
+    only one side has."""
+    from repro.analysis.report import render_table
+
+    rows = []
+    for d in sorted(cmp.deltas, key=lambda d: d.key):
+        flag = ""
+        if d.is_regression:
+            flag = "REGRESSION"
+        elif d.is_improvement:
+            flag = "improved"
+        rows.append(
+            [
+                d.baseline.benchmark,
+                d.baseline.metric,
+                d.baseline.value,
+                d.current.value,
+                f"{d.change * 100.0:+.2f}%",
+                flag,
+            ]
+        )
+    lines = [
+        render_table(
+            "Benchmark comparison vs baseline",
+            ["benchmark", "metric", "baseline", "current", "change", ""],
+            rows,
+            float_format="{:.2f}",
+        )
+    ]
+    for key in cmp.missing:
+        lines.append(f"MISSING from current run: {'/'.join(key)}")
+    for key in cmp.added:
+        lines.append(f"new (no baseline): {'/'.join(key)}")
+    verdict = "OK" if cmp.ok else (
+        f"FAIL: {len(cmp.regressions)} regression(s), "
+        f"{len(cmp.missing)} missing"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""The curated quick benchmark suite behind ``python -m repro bench``.
+
+A deterministic, seconds-scale sweep over the model's headline numbers
+— one-way latency per hop count, all-reduce, message-split transfer,
+migration synchronization, bandwidth efficiency — emitted as a
+:class:`~repro.bench.results.ResultSet`.  It is intentionally
+self-contained (no pytest, no timing of wall-clock anything: every
+value is *simulated* nanoseconds or a dimensionless model property),
+so the regression gate compares physics, not host noise, and the same
+command works locally and in CI:
+
+.. code-block:: console
+
+    $ python -m repro bench --out results.json
+    $ python -m repro bench --compare benchmarks/baseline.json
+
+The pytest benchmarks under ``benchmarks/`` measure wall-clock *host*
+performance of the simulator itself and publish through the same
+schema; this module is the model-behaviour half of the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.results import BenchResult, ResultSet
+
+#: Default machine shape for the suite; small enough for seconds-scale
+#: runs, large enough for 3 network hops and a non-trivial collective.
+DEFAULT_SHAPE = (4, 4, 4)
+
+
+def _shape_config(shape: tuple[int, int, int], **extra) -> dict:
+    cfg = {"shape": list(shape)}
+    cfg.update(extra)
+    return cfg
+
+
+def _latency_results(shape: tuple[int, int, int]) -> list[BenchResult]:
+    from repro.analysis.attribution import measure_attribution
+    from repro.topology.torus import Torus3D
+
+    max_hops = min(3, Torus3D(*shape).max_hops())
+    out = []
+    for hops in range(max_hops + 1):
+        m = measure_attribution(hops=hops, shape=shape)
+        out.append(
+            BenchResult(
+                benchmark="latency",
+                metric=f"one_way_{hops}hop_ns",
+                value=m.elapsed_ns,
+                units="ns",
+                better="lower",
+                config=_shape_config(shape, hops=hops, payload_bytes=0),
+            )
+        )
+    return out
+
+
+def _allreduce_results(shape: tuple[int, int, int]) -> list[BenchResult]:
+    from repro.asic.node import build_machine
+    from repro.comm.collectives import AllReduce, ButterflyAllReduce
+    from repro.engine.simulator import Simulator
+
+    out = []
+    for metric, cls in (
+        ("dimension_ordered_32B_ns", AllReduce),
+        ("butterfly_32B_ns", ButterflyAllReduce),
+    ):
+        sim = Simulator()
+        machine = build_machine(sim, *shape)
+        elapsed = cls(machine, payload_bytes=32).run().elapsed_ns
+        out.append(
+            BenchResult(
+                benchmark="allreduce",
+                metric=metric,
+                value=elapsed,
+                units="ns",
+                better="lower",
+                config=_shape_config(shape, payload_bytes=32),
+            )
+        )
+    return out
+
+
+def _transfer_result(shape: tuple[int, int, int]) -> BenchResult:
+    from repro.analysis.transfer import anton_transfer_ns
+
+    return BenchResult(
+        benchmark="transfer",
+        metric="split_2048B_8msg_ns",
+        value=anton_transfer_ns(2048, 8, hops=1, shape=shape),
+        units="ns",
+        better="lower",
+        config=_shape_config(shape, total_bytes=2048, num_messages=8, hops=1),
+    )
+
+
+def _migration_result(shape: tuple[int, int, int]) -> BenchResult:
+    from repro.asic.node import build_machine
+    from repro.comm.migration import MigrationProtocol
+    from repro.engine.simulator import Simulator
+
+    sim = Simulator()
+    machine = build_machine(sim, *shape)
+    elapsed = MigrationProtocol(machine).run().elapsed_ns
+    return BenchResult(
+        benchmark="migration",
+        metric="sync_only_ns",
+        value=elapsed,
+        units="ns",
+        better="lower",
+        config=_shape_config(shape, moves=0),
+    )
+
+
+def _bandwidth_results() -> list[BenchResult]:
+    from repro.analysis.transfer import bandwidth_efficiency, half_bandwidth_payload
+
+    return [
+        BenchResult(
+            benchmark="bandwidth",
+            metric="efficiency_28B",
+            value=bandwidth_efficiency(28),
+            units="fraction",
+            better="higher",
+            config={"payload_bytes": 28},
+        ),
+        BenchResult(
+            benchmark="bandwidth",
+            metric="half_bandwidth_payload_bytes",
+            value=half_bandwidth_payload(),
+            units="bytes",
+            better="lower",
+            config={},
+        ),
+    ]
+
+
+def run_suite(
+    shape: tuple[int, int, int] = DEFAULT_SHAPE,
+    only: Optional[set[str]] = None,
+) -> ResultSet:
+    """Run the quick suite and return its results.
+
+    ``only`` restricts to a subset of benchmark names (``latency``,
+    ``allreduce``, ``transfer``, ``migration``, ``bandwidth``).
+    """
+    results: list[BenchResult] = []
+
+    def want(name: str) -> bool:
+        return only is None or name in only
+
+    if want("latency"):
+        results.extend(_latency_results(shape))
+    if want("allreduce"):
+        results.extend(_allreduce_results(shape))
+    if want("transfer"):
+        results.append(_transfer_result(shape))
+    if want("migration"):
+        results.append(_migration_result(shape))
+    if want("bandwidth"):
+        results.extend(_bandwidth_results())
+    return ResultSet(results)
+
+
+#: Benchmark names ``run_suite`` knows.
+SUITE_BENCHMARKS = ("latency", "allreduce", "transfer", "migration", "bandwidth")

@@ -224,9 +224,15 @@ class AllReduce:
         easy to verify).  Returns the result with timing.
         """
         start = self.sim.now
+        fl = self.machine.network.flight
+        phase = f"allreduce[{self.payload_bytes}B]#{self._runs + 1}"
+        if fl.enabled:
+            fl.phase_begin(phase, start)
         procs, done_times, final = self.start(values)
         self.sim.run(until=self.sim.all_of(procs))
         elapsed = max(done_times.values()) - start
+        if fl.enabled:
+            fl.phase_end(phase, max(done_times.values()))
         results = set(final.values())
         if len(results) != 1:
             raise AssertionError(f"all-reduce diverged: {sorted(results)[:4]}")
@@ -356,6 +362,10 @@ class ButterflyAllReduce:
             values = {c: float(torus.rank(c)) for c in torus.nodes()}
         self._runs += 1
         start = self.sim.now
+        fl = self.machine.network.flight
+        phase = f"butterfly[{self.payload_bytes}B]#{self._runs}"
+        if fl.enabled:
+            fl.phase_begin(phase, start)
         done: dict[NodeCoord, float] = {}
         final: dict[NodeCoord, float] = {}
         procs = [
@@ -363,6 +373,8 @@ class ButterflyAllReduce:
             for c in torus.nodes()
         ]
         self.sim.run(until=self.sim.all_of(procs))
+        if fl.enabled:
+            fl.phase_end(phase, max(done.values()))
         results = set(final.values())
         if len(results) != 1:
             raise AssertionError(f"butterfly all-reduce diverged: {sorted(results)[:4]}")

@@ -155,8 +155,14 @@ class MigrationProtocol:
         """
         torus = self.torus
         start = self.sim.now
+        fl = self.machine.network.flight
+        phase = f"migration#{self._runs + 1}"
+        if fl.enabled:
+            fl.phase_begin(phase, start)
         procs, done, received, moves = self.start(moves, scan_atoms)
         self.sim.run(until=self.sim.all_of(procs))
+        if fl.enabled:
+            fl.phase_end(phase, max(done.values()))
         sent = sum(len(v) for v in moves.values())
         got = sum(len(v) for v in received.values())
         if got != sent:  # pragma: no cover - protocol invariant

@@ -25,12 +25,13 @@ Design notes
 from repro.engine.event import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.engine.process import Process
 from repro.engine.resource import Resource, Store
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import EventHistory, Simulator
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "EventHistory",
     "Interrupt",
     "Process",
     "Resource",

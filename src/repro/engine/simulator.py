@@ -19,6 +19,52 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.metrics import MetricsRegistry
 
 
+class EventHistory:
+    """Bounded record of executed engine events: ``(time, action name)``.
+
+    Installed on a simulator with :meth:`Simulator.set_event_hook` (or
+    the :meth:`install` convenience), it gives the critical-path
+    analyzer a view of *engine* activity — how many scheduled actions
+    fired inside a phase window, and where the event storm peaks —
+    without instrumenting any subsystem.  Recording is bounded so a
+    runaway simulation cannot exhaust memory; overflow is counted, not
+    silently dropped.
+    """
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        self.capacity = capacity
+        self.samples: list[tuple[float, str]] = []
+        self.dropped = 0
+
+    def record(self, when: float, fn: Callable[..., None]) -> None:
+        if len(self.samples) < self.capacity:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            self.samples.append((when, name))
+        else:
+            self.dropped += 1
+
+    def install(self, sim: "Simulator") -> "EventHistory":
+        sim.set_event_hook(self.record)
+        return self
+
+    def count_in(self, start_ns: float, end_ns: float) -> int:
+        """Events executed inside a time window (inclusive)."""
+        return sum(1 for t, _ in self.samples if start_ns <= t <= end_ns)
+
+    def density(self, bucket_ns: float) -> list[tuple[float, int]]:
+        """Events per fixed-width time bucket, sorted by bucket start."""
+        if bucket_ns <= 0:
+            raise ValueError(f"bucket_ns must be positive, got {bucket_ns}")
+        buckets: dict[float, int] = {}
+        for t, _ in self.samples:
+            start = (t // bucket_ns) * bucket_ns
+            buckets[start] = buckets.get(start, 0) + 1
+        return sorted(buckets.items())
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
 class Simulator:
     """Discrete-event simulator with nanosecond float time."""
 
@@ -31,6 +77,8 @@ class Simulator:
         self.events_executed: int = 0
         #: Set by :meth:`repro.trace.metrics.MetricsRegistry.attach`.
         self.metrics: "Optional[MetricsRegistry]" = None
+        #: Optional per-event observer, see :meth:`set_event_hook`.
+        self._event_hook: Optional[Callable[[float, Callable[..., None]], None]] = None
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -69,6 +117,22 @@ class Simulator:
 
     def _record_crash(self, process: Process, error: BaseException) -> None:
         self._crashes.append((process, error))
+
+    # -- observation -------------------------------------------------------
+    def set_event_hook(
+        self, hook: Optional[Callable[[float, Callable[..., None]], None]]
+    ) -> Optional[Callable[[float, Callable[..., None]], None]]:
+        """Install an observer called as ``hook(when, fn)`` just before
+        each event executes; returns the previous hook.
+
+        The hook is passive telemetry (an :class:`EventHistory`, a
+        progress meter): it must not schedule events or mutate
+        simulation state, and the disabled fast path costs one ``None``
+        test per event.  Pass ``None`` to uninstall.
+        """
+        prev = self._event_hook
+        self._event_hook = hook
+        return prev
 
     # -- waitable factories ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -132,6 +196,8 @@ class Simulator:
             when, _, fn, args = pop(queue)
             self.now = when
             self.events_executed += 1
+            if self._event_hook is not None:
+                self._event_hook(when, fn)
             fn(*args)
             if stop_event is not None and stop_event.triggered:
                 if stop_event.ok:

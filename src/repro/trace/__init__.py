@@ -51,6 +51,8 @@ from repro.trace.flight import (
     HopRecord,
     NullFlightRecorder,
     PacketFlight,
+    PhaseSpan,
+    PollRecord,
     active_flight,
     use_flight,
 )
@@ -78,6 +80,8 @@ __all__ = [
     "NULL_FLIGHT",
     "NullFlightRecorder",
     "PacketFlight",
+    "PhaseSpan",
+    "PollRecord",
     "active_flight",
     "active_registry",
     "chrome_trace",

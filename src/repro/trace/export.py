@@ -60,7 +60,7 @@ def _local_ids(flight: FlightRecorder) -> dict[int, int]:
     process, so raw ids differ between two identical runs; renumbering
     restores run-to-run byte identity.
     """
-    return {pid: i for i, pid in enumerate(flight.flights)}
+    return flight.local_ids()
 
 
 def chrome_trace(

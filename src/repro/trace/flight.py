@@ -28,6 +28,7 @@ JSONL, text summary) live in :mod:`repro.trace.export`.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Optional
@@ -45,12 +46,16 @@ class HopRecord:
     ``enqueue_ns`` is when the packet first asked for the link
     direction; ``grant_ns`` when the channel was granted (equal when
     the link was free); ``release_ns`` when the packet's last bit left
-    the injecting node (grant + serialization time).
+    the injecting node (grant + serialization time).  ``from_node`` is
+    the node injecting into the link (the link direction's home node),
+    which is what lets the analyzer rebuild per-branch causal chains
+    for multicast fan-out.
     """
 
     link: str
     dim: str
     sign: int
+    from_node: tuple
     enqueue_ns: float
     grant_ns: float
     release_ns: float
@@ -75,6 +80,49 @@ class Delivery:
     time_ns: float
 
 
+@dataclass(slots=True)
+class PollRecord:
+    """One successful synchronization-counter poll on a slice.
+
+    ``trigger_ns`` is when the counter reached the polled target (the
+    moment the polling process unblocked); ``done_ns`` is when the
+    slice finished paying the successful-poll cost and the data became
+    usable.  The critical-path analyzer joins these to deliveries by
+    ``(node, client, counter_id)`` to extend a packet's causal chain
+    through the receiver — the last 42 ns of Fig. 6.
+    """
+
+    node: tuple
+    client: str
+    counter_id: str
+    target: int
+    trigger_ns: float
+    done_ns: float
+
+    @property
+    def poll_ns(self) -> float:
+        return self.done_ns - self.trigger_ns
+
+
+@dataclass(slots=True)
+class PhaseSpan:
+    """One marked phase of a larger computation (a collective round, a
+    migration phase, an MD-step phase).  ``end_ns`` is ``None`` while
+    the phase is still open."""
+
+    name: str
+    begin_ns: float
+    end_ns: Optional[float] = None
+
+    @property
+    def duration_ns(self) -> Optional[float]:
+        return None if self.end_ns is None else self.end_ns - self.begin_ns
+
+    def contains(self, t: float) -> bool:
+        end = self.end_ns if self.end_ns is not None else float("inf")
+        return self.begin_ns <= t <= end
+
+
 @dataclass
 class PacketFlight:
     """The full recorded life of one packet."""
@@ -90,6 +138,10 @@ class PacketFlight:
     multicast: bool
     in_order: bool
     inject_ns: float
+    counter_id: Optional[str] = None
+    #: When the sending client began packet assembly (software send);
+    #: ``None`` for packets injected without the slice-side hook.
+    send_begin_ns: Optional[float] = None
     hops: list[HopRecord] = field(default_factory=list)
     deliveries: list[Delivery] = field(default_factory=list)
 
@@ -135,6 +187,28 @@ class NullFlightRecorder:
     ) -> None:
         pass
 
+    def software_send(
+        self, packet: "Packet", begin_ns: float, end_ns: float
+    ) -> None:
+        pass
+
+    def poll_completed(
+        self,
+        node: tuple,
+        client: str,
+        counter_id: str,
+        target: int,
+        trigger_ns: float,
+        done_ns: float,
+    ) -> None:
+        pass
+
+    def phase_begin(self, name: str, now: float) -> None:
+        pass
+
+    def phase_end(self, name: str, now: float) -> None:
+        pass
+
 
 #: Shared default recorder for every uninstrumented network.
 NULL_FLIGHT = NullFlightRecorder()
@@ -167,6 +241,10 @@ class FlightRecorder:
         self.queue_depth_series: dict[str, list[tuple[float, int]]] = {}
         #: (packet_id, link name) → (enqueue_ns, observed queue depth).
         self._pending: dict[tuple[int, str], tuple[float, int]] = {}
+        #: Successful counter polls, in completion order.
+        self.polls: list[PollRecord] = []
+        #: Marked phases, in begin order.
+        self.phases: list[PhaseSpan] = []
 
     # ------------------------------------------------------------------
     # hooks (called by the network transport; timestamps passed in so
@@ -185,6 +263,7 @@ class FlightRecorder:
             multicast=packet.is_multicast,
             in_order=packet.in_order,
             inject_ns=now,
+            counter_id=getattr(packet, "counter_id", None),
         )
         m = self.metrics
         if m is not None:
@@ -212,6 +291,7 @@ class FlightRecorder:
             link=name,
             dim=lid.dim,
             sign=lid.sign,
+            from_node=tuple(lid.node),
             enqueue_ns=enqueue_ns,
             grant_ns=now,
             release_ns=release,
@@ -244,6 +324,56 @@ class FlightRecorder:
             if m is not None:
                 m.counter("net.packets_delivered").inc()
                 m.histogram("net.packet_latency_ns").observe(now - flight.inject_ns)
+
+    def software_send(
+        self, packet: "Packet", begin_ns: float, end_ns: float
+    ) -> None:
+        """The sending client assembled this packet over
+        ``[begin_ns, end_ns]`` (Fig. 6's "write packet send initiated
+        in processing slice", including any Tensilica queueing)."""
+        flight = self.flights.get(packet.packet_id)
+        if flight is not None:
+            flight.send_begin_ns = begin_ns
+        m = self.metrics
+        if m is not None:
+            m.histogram("net.software_send_ns").observe(end_ns - begin_ns)
+
+    def poll_completed(
+        self,
+        node: tuple,
+        client: str,
+        counter_id: str,
+        target: int,
+        trigger_ns: float,
+        done_ns: float,
+    ) -> None:
+        """A slice's local counter poll succeeded (Fig. 6's final
+        42 ns).  Joined to deliveries by (node, client, counter_id)."""
+        self.polls.append(
+            PollRecord(
+                node=tuple(node),
+                client=client,
+                counter_id=counter_id,
+                target=target,
+                trigger_ns=trigger_ns,
+                done_ns=done_ns,
+            )
+        )
+        m = self.metrics
+        if m is not None:
+            m.counter("net.polls_succeeded").inc()
+
+    def phase_begin(self, name: str, now: float) -> None:
+        """Open a named phase (collective round, migration, MD phase)."""
+        self.phases.append(PhaseSpan(name=name, begin_ns=now))
+
+    def phase_end(self, name: str, now: float) -> None:
+        """Close the most recent open phase with this name."""
+        for span in reversed(self.phases):
+            if span.name == name and span.end_ns is None:
+                span.end_ns = now
+                return
+        raise RuntimeError(f"phase_end({name!r}) without an open phase_begin")
 
     # ------------------------------------------------------------------
     # queries
@@ -281,11 +411,101 @@ class FlightRecorder:
             1 for f in self.flights.values() for h in f.hops if h.wait_ns > 0
         )
 
+    # -- span query API (used by repro.analysis.critical_path) ----------
+    def local_ids(self) -> dict[int, int]:
+        """Dense packet ids in injection order.
+
+        Raw ids count for the whole process, so two identical runs get
+        different ids; every deterministic report must renumber through
+        this map (the exporters in :mod:`repro.trace.export` do).
+        """
+        return {pid: i for i, pid in enumerate(self.flights)}
+
+    def delivered_flights(self) -> list[PacketFlight]:
+        """Flights that reached at least one destination, in injection
+        order."""
+        return [f for f in self.flights.values() if f.deliveries]
+
+    def flights_in(self, start_ns: float, end_ns: float) -> list[PacketFlight]:
+        """Flights whose life overlaps ``[start_ns, end_ns]``.
+
+        A flight overlaps the window if its injection precedes the
+        window's end and its last recorded activity follows the
+        window's start (in-flight packets count as extending forever).
+        """
+        out = []
+        for f in self.flights.values():
+            done = f.delivered_ns
+            if done is None:
+                done = float("inf")
+            if f.inject_ns <= end_ns and done >= start_ns:
+                out.append(f)
+        return out
+
+    def poll_for(
+        self, flight: PacketFlight, delivery: Optional[Delivery] = None
+    ) -> Optional[PollRecord]:
+        """The successful poll that consumed ``delivery`` (default: the
+        flight's last delivery), or ``None`` if nothing polled for it.
+
+        Matches on (node, client, counter_id) and takes the earliest
+        poll whose trigger is at or after the delivery time — a poll
+        cannot unblock before the counted write that fulfilled it.
+        """
+        if flight.counter_id is None or not flight.deliveries:
+            return None
+        if delivery is None:
+            delivery = flight.deliveries[-1]
+        best: Optional[PollRecord] = None
+        for p in self.polls:
+            if (
+                p.node == tuple(delivery.node)
+                and p.client == delivery.client
+                and p.counter_id == flight.counter_id
+                and p.trigger_ns >= delivery.time_ns
+                and (best is None or p.trigger_ns < best.trigger_ns)
+            ):
+                best = p
+        return best
+
+    def phase(self, name: str) -> PhaseSpan:
+        """The most recent phase with this name."""
+        for span in reversed(self.phases):
+            if span.name == name:
+                return span
+        raise KeyError(f"no recorded phase {name!r}")
+
+    def closed_phases(self) -> list[PhaseSpan]:
+        """All completed phases, in begin order."""
+        return [p for p in self.phases if p.end_ns is not None]
+
+    def link_wait_ns(self, link: str) -> float:
+        """Total head-of-line queue wait recorded against a link."""
+        return sum(
+            h.wait_ns
+            for f in self.flights.values()
+            for h in f.hops
+            if h.link == link
+        )
+
+    def queue_depth_percentile(self, link: str, p: float) -> int:
+        """Nearest-rank percentile of the sampled queue depth on a
+        link direction (0 for links that never queued)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        samples = sorted(d for _, d in self.queue_depth_series.get(link, []))
+        if not samples:
+            return 0
+        rank = math.ceil(p / 100.0 * len(samples))
+        return samples[max(0, rank - 1)]
+
     def clear(self) -> None:
         self.flights.clear()
         self.link_occupancy.clear()
         self.queue_depth_series.clear()
         self._pending.clear()
+        self.polls.clear()
+        self.phases.clear()
 
     def __len__(self) -> int:
         return len(self.flights)

@@ -1,0 +1,79 @@
+"""Plain-text report rendering (analysis/report.py).
+
+These renderers sit on the byte-identity path: every benchmark table,
+attribution report, and hotspot summary goes through them, so their
+alignment and number formatting are part of the determinism contract.
+"""
+
+from repro.analysis.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_layout_title_rule_headers_and_rows(self):
+        text = render_table(
+            "Latency", ["hops", "ns"], [[0, 97.0], [1, 162.0]]
+        )
+        lines = text.split("\n")
+        assert lines[0] == "Latency"
+        assert lines[1] == "=" * len("Latency")
+        assert lines[2].split() == ["hops", "ns"]
+        assert set(lines[3]) <= {"-", " "}
+        assert lines[4].split() == ["0", "97.00"]
+        assert lines[5].split() == ["1", "162.00"]
+        assert len(lines) == 6
+
+    def test_column_alignment(self):
+        text = render_table(
+            "t", ["name", "value"], [["a", 1.0], ["long-name", 12345.0]]
+        )
+        lines = text.split("\n")
+        # Every body/header line is padded to the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+        # Headers are left-justified, cells right-justified.
+        assert lines[2].startswith("name ")
+        assert lines[4].endswith("    1.00")
+        assert lines[5].startswith("long-name")
+
+    def test_float_format_applied_only_to_floats(self):
+        text = render_table(
+            "t", ["a", "b", "c"], [[1, 2.0, "x"]], float_format="{:.3f}"
+        )
+        row = text.split("\n")[-1].split()
+        assert row == ["1", "2.000", "x"]
+
+    def test_empty_rows_render_header_only(self):
+        text = render_table("empty", ["col-one", "c2"], [])
+        lines = text.split("\n")
+        assert len(lines) == 4  # title, rule, headers, dashes — no body
+        assert lines[2].split() == ["col-one", "c2"]
+        # Column widths fall back to the header widths.
+        assert lines[3] == "-" * len("col-one") + "  " + "-" * len("c2")
+
+    def test_wide_cell_stretches_column(self):
+        text = render_table("t", ["h"], [["wider-than-header"]])
+        lines = text.split("\n")
+        assert lines[3] == "-" * len("wider-than-header")
+
+    def test_deterministic(self):
+        args = ("t", ["a", "b"], [[1.5, "x"], [2.5, "y"]])
+        assert render_table(*args) == render_table(*args)
+
+
+class TestRenderSeries:
+    def test_one_column_per_curve(self):
+        text = render_series(
+            "Fig", "hops", [0, 1], {"uni": [97.0, 162.0], "rt": [194.0, 324.0]}
+        )
+        lines = text.split("\n")
+        assert lines[2].split() == ["hops", "uni", "rt"]
+        assert lines[4].split() == ["0", "97.0", "194.0"]
+        assert lines[5].split() == ["1", "162.0", "324.0"]
+
+    def test_default_float_format_is_one_decimal(self):
+        text = render_series("f", "x", [1], {"y": [2.0]})
+        assert text.split("\n")[-1].split() == ["1", "2.0"]
+
+    def test_empty_series(self):
+        text = render_series("f", "x", [], {"y": []})
+        assert len(text.split("\n")) == 4

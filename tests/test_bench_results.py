@@ -1,0 +1,200 @@
+"""Benchmark results schema (bench/results.py) and regression
+comparison (bench/compare.py)."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    Delta,
+    compare,
+    render_comparison,
+    threshold_for,
+)
+from repro.bench.results import SCHEMA, BenchResult, ResultSet, config_hash
+
+
+def result(benchmark="latency", metric="one_way_1hop_ns", value=162.0,
+           units="ns", better="lower", **config):
+    return BenchResult(benchmark=benchmark, metric=metric, value=value,
+                       units=units, better=better, config=config)
+
+
+class TestBenchResult:
+    def test_key_is_benchmark_metric_confighash(self):
+        r = result(shape=[4, 4, 4], hops=1)
+        assert r.key == ("latency", "one_way_1hop_ns", r.config_hash)
+        assert len(r.config_hash) == 12
+
+    def test_config_hash_is_order_insensitive_and_value_free(self):
+        a = config_hash({"shape": [4, 4, 4], "hops": 1})
+        b = config_hash({"hops": 1, "shape": [4, 4, 4]})
+        assert a == b
+        assert a != config_hash({"shape": [4, 4, 4], "hops": 2})
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(better="sideways"), "better must be one of"),
+            (dict(value=float("nan")), "finite"),
+            (dict(value=float("inf")), "finite"),
+            (dict(metric=""), "non-empty"),
+            (dict(units=""), "non-empty"),
+        ],
+    )
+    def test_validation_errors(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            result(**kwargs)
+
+    def test_round_trip(self):
+        r = result(shape=[2, 2, 2], payload_bytes=256)
+        again = BenchResult.from_dict(r.to_dict())
+        assert again == r
+        assert again.key == r.key
+
+    def test_from_dict_rejects_missing_fields(self):
+        doc = result().to_dict()
+        del doc["units"]
+        with pytest.raises(ValueError, match="missing fields"):
+            BenchResult.from_dict(doc)
+
+    def test_from_dict_rejects_inconsistent_stored_hash(self):
+        doc = result(shape=[4, 4, 4]).to_dict()
+        doc["config"]["shape"] = [8, 8, 8]  # edited without re-hashing
+        with pytest.raises(ValueError, match="config_hash"):
+            BenchResult.from_dict(doc)
+
+
+class TestResultSet:
+    def test_duplicate_key_rejected(self):
+        rs = ResultSet([result(value=162.0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            rs.add(result(value=999.0))  # same key, value ignored by identity
+
+    def test_iteration_is_key_sorted(self):
+        rs = ResultSet([result(metric="b_ns"), result(metric="a_ns"),
+                        result(benchmark="allreduce", metric="z_ns")])
+        keys = [r.key for r in rs]
+        assert keys == sorted(keys)
+
+    def test_file_round_trip(self, tmp_path):
+        rs = ResultSet([result(shape=[4, 4, 4]), result(metric="zero_hop_ns",
+                                                        value=97.0)])
+        path = tmp_path / "sub" / "out.json"  # parent dir auto-created
+        rs.write(str(path))
+        again = ResultSet.read(str(path))
+        assert again.keys() == rs.keys()
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in rs]
+
+    def test_dumps_is_canonical(self):
+        rs = ResultSet([result()])
+        text = rs.dumps()
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert doc["schema"] == SCHEMA
+        # Identical content serializes to identical bytes regardless of
+        # insertion order.
+        other = ResultSet([result(metric="zzz_ns"), result()])
+        again = ResultSet([result(), result(metric="zzz_ns")])
+        assert other.dumps() == again.dumps()
+
+    def test_loads_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="unsupported results schema"):
+            ResultSet.loads('{"schema": "repro-bench/99", "results": []}')
+        with pytest.raises(ValueError, match="'results' list"):
+            ResultSet.loads('{"schema": "repro-bench/1"}')
+
+    def test_read_many_merges_and_rejects_duplicates(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        ResultSet([result()]).write(str(a))
+        ResultSet([result(benchmark="allreduce")]).write(str(b))
+        merged = ResultSet.read_many([str(a), str(b)])
+        assert len(merged) == 2
+        ResultSet([result()]).write(str(b))
+        with pytest.raises(ValueError, match="duplicate"):
+            ResultSet.read_many([str(a), str(b)])
+
+
+class TestCompare:
+    def test_within_threshold_is_ok(self):
+        base = ResultSet([result(value=100.0)])
+        cur = ResultSet([result(value=104.0)])
+        cmp = compare(base, cur)  # +4% < default 5%
+        assert cmp.ok and not cmp.regressions and not cmp.improvements
+
+    def test_lower_is_better_regresses_upward(self):
+        base = ResultSet([result(value=100.0)])
+        cmp = compare(base, ResultSet([result(value=110.0)]))
+        assert not cmp.ok
+        [d] = cmp.regressions
+        assert d.change == pytest.approx(0.10)
+        assert d.worsening == pytest.approx(0.10)
+        # The same move downward is an improvement.
+        cmp = compare(base, ResultSet([result(value=90.0)]))
+        assert cmp.ok and len(cmp.improvements) == 1
+
+    def test_higher_is_better_regresses_downward(self):
+        base = ResultSet([result(metric="efficiency", value=0.525,
+                                 units="ratio", better="higher")])
+        cur = ResultSet([result(metric="efficiency", value=0.40,
+                                units="ratio", better="higher")])
+        cmp = compare(base, cur)
+        [d] = cmp.regressions
+        assert d.worsening > 0
+        cmp = compare(base, ResultSet([result(metric="efficiency", value=0.60,
+                                              units="ratio", better="higher")]))
+        assert cmp.ok
+
+    def test_zero_baseline(self):
+        base = ResultSet([result(value=0.0)])
+        assert compare(base, ResultSet([result(value=0.0)])).ok
+        cmp = compare(base, ResultSet([result(value=1.0)]))
+        [d] = cmp.deltas
+        assert d.change == float("inf")
+        assert d.is_regression
+
+    def test_missing_key_fails_even_without_regression(self):
+        base = ResultSet([result(), result(metric="zero_hop_ns", value=97.0)])
+        cur = ResultSet([result()])
+        cmp = compare(base, cur)
+        assert not cmp.ok
+        assert cmp.missing == [("latency", "zero_hop_ns",
+                                result(metric="zero_hop_ns").config_hash)]
+
+    def test_added_keys_are_informational(self):
+        base = ResultSet([result()])
+        cur = ResultSet([result(), result(metric="new_ns")])
+        cmp = compare(base, cur)
+        assert cmp.ok
+        assert len(cmp.added) == 1
+
+    def test_threshold_override_precedence(self):
+        r = result()
+        assert threshold_for(r) == DEFAULT_THRESHOLD
+        assert threshold_for(r, overrides={"latency": 0.2}) == 0.2
+        assert threshold_for(
+            r, overrides={"latency": 0.2, "latency/one_way_1hop_ns": 0.5}
+        ) == 0.5
+        # Overrides actually gate classification.
+        base = ResultSet([result(value=100.0)])
+        cur = ResultSet([result(value=110.0)])
+        assert not compare(base, cur).ok
+        assert compare(base, cur, overrides={"latency": 0.2}).ok
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            compare(ResultSet(), ResultSet(), threshold=-0.1)
+
+    def test_render_flags_and_verdict(self):
+        base = ResultSet([result(value=100.0),
+                          result(metric="gone_ns", value=1.0)])
+        cur = ResultSet([result(value=120.0),
+                         result(metric="new_ns", value=1.0)])
+        text = render_comparison(compare(base, cur))
+        assert "REGRESSION" in text
+        assert "MISSING from current run: latency/gone_ns" in text
+        assert "new (no baseline): latency/new_ns" in text
+        assert text.endswith("FAIL: 1 regression(s), 1 missing")
+        ok_text = render_comparison(compare(base, base))
+        assert ok_text.endswith("OK")

@@ -159,6 +159,55 @@ class TestContention:
 
 
 class TestMulticast:
+    def make_multicast_run(self, targets):
+        sim, machine, fl = traced_machine()
+        net = machine.network
+        for node in targets:
+            machine.node(node).slice(0).memory.allocate("mc", 1)
+        pattern = compile_pattern(net.torus, (0, 0, 0), targets)
+        packet = WritePacket(
+            src_node=net.torus.coord((0, 0, 0)), src_client="slice0",
+            dst_node=net.torus.coord((0, 0, 0)), dst_client="slice0",
+            counter_id="mc", address=("mc", 0),
+            pattern_id=net.register_pattern(pattern),
+        )
+        sim.run(until=net.inject(packet))
+        [flight] = fl.packets()
+        return machine, flight
+
+    def test_per_branch_spans_are_causal(self):
+        """Every branch of the replication tree reconstructs as a
+        causal chain of hop spans ending at its delivery node."""
+        from repro.analysis.critical_path import branch_hops
+
+        targets = {(1, 0, 0): ("slice0",), (0, 1, 0): ("slice0",),
+                   (1, 1, 0): ("slice0",), (1, 1, 1): ("slice0",)}
+        machine, flight = self.make_multicast_run(targets)
+        torus = machine.torus
+        for delivery in flight.deliveries:
+            chain = branch_hops(flight, torus, delivery)
+            assert tuple(chain[0].from_node) == (0, 0, 0)
+            for prev, nxt in zip(chain, chain[1:]):
+                # The child hop leaves the node the parent entered, and
+                # cannot be granted before its parent was.
+                assert tuple(torus.neighbor(prev.from_node, prev.dim,
+                                            prev.sign)) == tuple(nxt.from_node)
+                assert nxt.enqueue_ns >= prev.grant_ns
+            last = chain[-1]
+            assert tuple(torus.neighbor(last.from_node, last.dim, last.sign)) \
+                == tuple(delivery.node)
+            assert delivery.time_ns >= last.grant_ns
+
+    def test_shared_trunk_recorded_once(self):
+        """Branches to (1,0,0) and (1,1,0) share the first X hop: the
+        tree replicates at (1,0,0), it does not send twice from the
+        source."""
+        targets = {(1, 0, 0): ("slice0",), (1, 1, 0): ("slice0",)}
+        machine, flight = self.make_multicast_run(targets)
+        x_hops = [h for h in flight.hops
+                  if tuple(h.from_node) == (0, 0, 0) and h.dim == "x"]
+        assert len(x_hops) == 1
+
     def test_hops_match_compiled_tree(self):
         sim, machine, fl = traced_machine()
         net = machine.network
@@ -218,3 +267,106 @@ class TestNonPerturbation:
         fl.clear()
         assert len(fl) == 0
         assert fl.links() == []
+
+
+class TestAccumulation:
+    def make_accum_run(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        node = machine.node((1, 0, 0))
+
+        def sender():
+            for _ in range(3):
+                yield from src.send_accum(
+                    (1, 0, 0), "accum0", counter_id="c", address="f",
+                    payload=2.0, payload_bytes=8,
+                )
+
+        def poll():
+            yield from node.slice(0).poll_accum(node.accum[0], "c", 3)
+
+        p1, p2 = sim.process(sender()), sim.process(poll())
+        sim.run(until=sim.all_of([p1, p2]))
+        return machine, fl
+
+    def test_accum_packets_recorded_as_flights(self):
+        machine, fl = self.make_accum_run()
+        flights = fl.packets()
+        assert len(flights) == 3
+        for f in flights:
+            assert f.kind == "accum"
+            assert not f.multicast
+            assert f.payload_bytes == 8
+            [d] = f.deliveries
+            assert tuple(d.node) == (1, 0, 0)
+            assert d.client == "accum0"
+            # The accumulation write crosses one X link.
+            assert len(f.hops) == 1 and f.hops[0].dim == "x"
+            assert f.send_begin_ns is not None
+            assert f.send_begin_ns <= f.inject_ns
+
+    def test_accum_flights_attribute_exactly(self):
+        from repro.analysis.attribution import attribute_flight
+
+        machine, fl = self.make_accum_run()
+        for f in fl.packets():
+            attr = attribute_flight(f, fl)
+            attr.check()
+            assert attr.total_ns == f.deliveries[-1].time_ns - f.send_begin_ns
+
+    def test_accum_semantics_unperturbed(self):
+        machine, fl = self.make_accum_run()
+        accum = machine.node((1, 0, 0)).accum[0]
+        assert accum.value("f") == pytest.approx(6.0)
+        assert accum.counter("c").count == 3
+
+
+class TestPollJoin:
+    def test_poll_for_matches_consuming_poll(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 0, 0)).slice(0)
+        run_exchange(sim, src, dst)
+        [flight] = fl.packets()
+        poll = fl.poll_for(flight)
+        assert poll is not None
+        assert tuple(poll.node) == (1, 0, 0)
+        assert poll.client == "slice0"
+        assert poll.counter_id == "c"
+        assert poll.trigger_ns >= flight.deliveries[-1].time_ns
+        assert poll.done_ns > poll.trigger_ns
+
+    def test_poll_for_without_poller_is_none(self):
+        sim, machine, fl = traced_machine()
+        src = machine.node((0, 0, 0)).slice(0)
+        dst = machine.node((1, 0, 0)).slice(0)
+        dst.memory.allocate("rx", 1)
+
+        def send():
+            yield from src.send_write(
+                (1, 0, 0), "slice0", counter_id="nobody",
+                address=("rx", 0),
+            )
+
+        sim.process(send())
+        sim.run()
+        [flight] = fl.packets()
+        assert flight.deliveries
+        assert fl.poll_for(flight) is None
+
+
+class TestPhases:
+    def test_closed_phases_in_begin_order(self):
+        fl = FlightRecorder()
+        fl.phase_begin("a", 0.0)
+        fl.phase_begin("b", 10.0)
+        fl.phase_end("b", 20.0)
+        fl.phase_end("a", 30.0)
+        closed = fl.closed_phases()
+        assert [p.name for p in closed] == ["a", "b"]
+        assert fl.phase("a").end_ns == 30.0
+
+    def test_unmatched_phase_end_raises(self):
+        fl = FlightRecorder()
+        with pytest.raises(RuntimeError, match="without an open phase_begin"):
+            fl.phase_end("never-opened", 1.0)
