@@ -16,6 +16,12 @@ Quick access to the headline measurements without writing a script:
   critical paths and link contention hotspots
 * ``bench``     — run the quick benchmark suite, write ``repro-bench/1``
   JSON results, and optionally fail on regression vs a baseline file
+* ``monitor``   — run an experiment with continuous health monitoring
+  attached (time-series sampler + invariant watchdogs), print the
+  health verdict, and exit nonzero on any invariant violation
+* ``report``    — same monitored run, rendered as a self-contained
+  HTML health report (utilization heatmap, time-series charts,
+  sketch-vs-exact percentiles) plus optional Prometheus text
 
 Every measurement subcommand also takes ``--metrics``, which runs it
 with the telemetry layer attached and prints the metrics registry
@@ -149,6 +155,45 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if cmp.ok else 1
 
 
+def _run_monitor(args: argparse.Namespace) -> int:
+    from repro.monitor.capture import run_monitored
+
+    cap = run_monitored(
+        args.experiment,
+        shape=args.shape,
+        rounds=args.rounds,
+        interval_ns=args.interval,
+        series_capacity=args.capacity,
+        stall_ns=args.stall,
+    )
+    print(f"monitored {args.experiment}: {cap.description}")
+    if len(cap.monitors) > 1:
+        print(
+            f"({len(cap.monitors)} machines monitored; verdict below is "
+            "the busiest — any machine's violation fails the run)"
+        )
+    print()
+    print(cap.verdict.render_text())
+    if args.jsonl:
+        cap.write_jsonl(args.jsonl)
+        print(f"\nwrote {args.jsonl} (diagnostics, one JSON record per line)")
+    if args.command == "report" or args.html:
+        out = args.html or "report.html"
+        with open(out, "w") as fh:
+            fh.write(cap.html(
+                title=f"Continuous health report: {args.experiment}"
+            ))
+        print(f"wrote {out} (self-contained HTML health report)")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(cap.prometheus())
+        print(f"wrote {args.prom} (Prometheus text exposition)")
+    if not cap.healthy:
+        print("\nHEALTH CHECK FAILED: at least one invariant was violated")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -227,6 +272,55 @@ def main(argv: list[str] | None = None) -> int:
     p_be.add_argument("--only", nargs="*", choices=SUITE_BENCHMARKS,
                       default=None, help="restrict to these benchmarks")
 
+    from repro.monitor.capture import (
+        DEFAULT_HISTOGRAM_CAP,
+        MONITOR_EXPERIMENTS,
+    )
+    from repro.monitor.health import DEFAULT_STALL_NS
+    from repro.monitor.sampler import DEFAULT_INTERVAL_NS
+
+    mon_common = argparse.ArgumentParser(add_help=False)
+    mon_common.add_argument(
+        "experiment", nargs="?", choices=MONITOR_EXPERIMENTS, default="mdstep"
+    )
+    mon_common.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
+    mon_common.add_argument("--rounds", type=int, default=2,
+                            help="repetitions inside the experiment (default 2)")
+    mon_common.add_argument(
+        "--interval", type=float, default=DEFAULT_INTERVAL_NS,
+        help=f"sampling interval in simulated ns (default {DEFAULT_INTERVAL_NS:.0f})",
+    )
+    mon_common.add_argument(
+        "--capacity", type=int, default=512,
+        help="ring-buffer capacity per time series (default 512)",
+    )
+    mon_common.add_argument(
+        "--stall", type=float, default=DEFAULT_STALL_NS,
+        help="stall-detector no-progress window in simulated ns "
+             f"(default {DEFAULT_STALL_NS:.0f})",
+    )
+    mon_common.add_argument("--jsonl", default=None,
+                            help="write JSONL diagnostics to this path")
+    mon_common.add_argument("--prom", default=None,
+                            help="write Prometheus text exposition to this path")
+
+    p_mon = sub.add_parser(
+        "monitor", parents=[mon_common],
+        help="run with continuous health monitoring; exit 1 on violation",
+        description="Histograms created during the run are capped at "
+                    f"{DEFAULT_HISTOGRAM_CAP} samples and fall back to "
+                    "streaming sketches (1% relative error).",
+    )
+    p_mon.add_argument("--html", default=None,
+                       help="also write the HTML health report to this path")
+
+    p_rep = sub.add_parser(
+        "report", parents=[mon_common],
+        help="monitored run rendered as a self-contained HTML report",
+    )
+    p_rep.add_argument("--html", default="report.html", metavar="OUT",
+                       help="HTML output path (default report.html)")
+
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -235,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_attribute(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command in ("monitor", "report"):
+        return _run_monitor(args)
 
     registry = None
     stack = ExitStack()

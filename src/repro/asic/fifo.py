@@ -62,6 +62,17 @@ class MessageFifo:
     def is_full(self) -> bool:
         return len(self._ring) >= self.capacity
 
+    @property
+    def overflow_occupancy(self) -> int:
+        """Packets parked on the network-side overflow queue (depth
+        probe: nonzero means backpressure is being exerted right now)."""
+        return len(self._overflow)
+
+    @property
+    def pending_waiters(self) -> int:
+        """Pollers currently blocked on the tail pointer."""
+        return len(self._waiters)
+
     # -- network side -------------------------------------------------------
     def push(self, packet: Packet) -> None:
         """A message packet arrives from the network."""

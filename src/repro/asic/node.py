@@ -120,4 +120,14 @@ def build_machine(
         )
         for coord in torus.nodes()
     }
-    return Machine(sim, torus, network, nodes)
+    machine = Machine(sim, torus, network, nodes)
+    # Ambient continuous monitoring (mirrors the flight recorder's
+    # pickup): machines built inside a `use_monitoring` block get a
+    # health monitor attached without parameter threading.  Local
+    # import — repro.monitor imports the trace stack.
+    from repro.monitor.health import active_monitor_session
+
+    session = active_monitor_session()
+    if session is not None:
+        session.attach(sim, machine)
+    return machine

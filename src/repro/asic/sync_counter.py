@@ -77,6 +77,15 @@ class SyncCounter:
             self._waiters[target] = ev
         return ev
 
+    def pending_targets(self) -> list[int]:
+        """Thresholds with waiters still blocked, sorted ascending.
+
+        Every pending target must exceed :attr:`count` — a waiter at or
+        below the current count would mean a missed wakeup, which is
+        exactly what the sync-counter-consistency watchdog checks.
+        """
+        return sorted(self._waiters)
+
     def reset(self) -> None:
         """Zero the counter for the next communication phase.
 

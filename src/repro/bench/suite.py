@@ -137,6 +137,71 @@ def _bandwidth_results() -> list[BenchResult]:
     ]
 
 
+def _monitor_results(shape: tuple[int, int, int]) -> list[BenchResult]:
+    """The continuous-monitoring perturbation gate.
+
+    Runs the dimension-ordered all-reduce twice — monitored (sampler +
+    watchdogs at a 100 ns interval) and bare — and reports the
+    *simulated-time* difference.  The baseline value is 0.0, and the
+    comparison treats a zero baseline specially (any nonzero current
+    value is an infinite regression), so this entry is a hard gate:
+    monitoring that perturbs simulated results by even a nanosecond
+    fails ``python -m repro bench --compare``.  The sample count and
+    violation count pin the sampler cadence and the watchdogs' verdict.
+    """
+    from repro.asic.node import build_machine
+    from repro.comm.collectives import AllReduce
+    from repro.engine.simulator import Simulator
+    from repro.monitor.health import use_monitoring
+
+    def one_run(monitored: bool):
+        sim = Simulator()
+        if monitored:
+            with use_monitoring(interval_ns=100.0) as session:
+                machine = build_machine(sim, *shape)
+        else:
+            session = None
+            machine = build_machine(sim, *shape)
+        elapsed = AllReduce(machine, payload_bytes=32).run().elapsed_ns
+        if session is None:
+            return elapsed, None, None
+        monitor = session.monitors[0]
+        verdict = monitor.finalize()
+        return elapsed, monitor, verdict
+
+    bare_ns, _, _ = one_run(monitored=False)
+    mon_ns, monitor, verdict = one_run(monitored=True)
+    assert monitor is not None and verdict is not None
+    violations = sum(1 for c in verdict.checks if c.status == "error")
+    cfg = _shape_config(shape, payload_bytes=32, interval_ns=100.0)
+    return [
+        BenchResult(
+            benchmark="monitor",
+            metric="sim_time_delta_ns",
+            value=abs(mon_ns - bare_ns),
+            units="ns",
+            better="lower",
+            config=cfg,
+        ),
+        BenchResult(
+            benchmark="monitor",
+            metric="invariant_violations",
+            value=float(violations),
+            units="count",
+            better="lower",
+            config=cfg,
+        ),
+        BenchResult(
+            benchmark="monitor",
+            metric="sampler_ticks",
+            value=float(monitor.sampler.ticks),
+            units="count",
+            better="higher",
+            config=cfg,
+        ),
+    ]
+
+
 def run_suite(
     shape: tuple[int, int, int] = DEFAULT_SHAPE,
     only: Optional[set[str]] = None,
@@ -144,7 +209,8 @@ def run_suite(
     """Run the quick suite and return its results.
 
     ``only`` restricts to a subset of benchmark names (``latency``,
-    ``allreduce``, ``transfer``, ``migration``, ``bandwidth``).
+    ``allreduce``, ``transfer``, ``migration``, ``bandwidth``,
+    ``monitor``).
     """
     results: list[BenchResult] = []
 
@@ -161,8 +227,12 @@ def run_suite(
         results.append(_migration_result(shape))
     if want("bandwidth"):
         results.extend(_bandwidth_results())
+    if want("monitor"):
+        results.extend(_monitor_results(shape))
     return ResultSet(results)
 
 
 #: Benchmark names ``run_suite`` knows.
-SUITE_BENCHMARKS = ("latency", "allreduce", "transfer", "migration", "bandwidth")
+SUITE_BENCHMARKS = (
+    "latency", "allreduce", "transfer", "migration", "bandwidth", "monitor"
+)

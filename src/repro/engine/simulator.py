@@ -34,7 +34,16 @@ class EventHistory:
     def __init__(self, capacity: int = 200_000) -> None:
         self.capacity = capacity
         self.samples: list[tuple[float, str]] = []
+        #: Events seen after the capacity was reached.  Analyses (and
+        #: the health verdict, which surfaces this as telemetry loss)
+        #: must treat a nonzero value as "the window is truncated",
+        #: not "the run had this many events".
         self.dropped = 0
+
+    @property
+    def total_seen(self) -> int:
+        """Every event offered to the history, recorded or dropped."""
+        return len(self.samples) + self.dropped
 
     def record(self, when: float, fn: Callable[..., None]) -> None:
         if len(self.samples) < self.capacity:
@@ -79,6 +88,9 @@ class Simulator:
         self.metrics: "Optional[MetricsRegistry]" = None
         #: Optional per-event observer, see :meth:`set_event_hook`.
         self._event_hook: Optional[Callable[[float, Callable[..., None]], None]] = None
+        #: Optional periodic observer, see :meth:`set_monitor_hook`.
+        self._monitor_hook: Optional[Callable[[float], float]] = None
+        self._monitor_due: float = 0.0
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -133,6 +145,40 @@ class Simulator:
         prev = self._event_hook
         self._event_hook = hook
         return prev
+
+    def set_monitor_hook(
+        self,
+        hook: Optional[Callable[[float], float]],
+        due: float = 0.0,
+    ) -> Optional[Callable[[float], float]]:
+        """Install a periodic observer driven by the run loop itself.
+
+        ``hook(now)`` is called at an event boundary (after the clock
+        advanced, before the event's action runs) whenever ``now``
+        reaches the current due time, and must return the *next* due
+        time.  Unlike scheduling a recurring event, the hook lives
+        outside the event queue: it consumes no sequence numbers, never
+        keeps an idle simulation alive, and survives any number of
+        :meth:`run` calls — which is what makes it the right carrier
+        for always-on health monitoring (the sampler ticks ride on
+        simulated activity and stop costing anything when the machine
+        is idle).
+
+        The hook must be a passive observer: reading simulator,
+        network, or client state is fine; scheduling events or mutating
+        state breaks the monitoring-is-bit-identical guarantee.  The
+        disabled fast path costs one ``None`` test per event.  Returns
+        the previous hook; pass ``None`` to uninstall.
+        """
+        prev = self._monitor_hook
+        self._monitor_hook = hook
+        self._monitor_due = due
+        return prev
+
+    @property
+    def pending(self) -> int:
+        """Scheduled entries currently in the event queue."""
+        return len(self._queue)
 
     # -- waitable factories ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -198,6 +244,8 @@ class Simulator:
             self.events_executed += 1
             if self._event_hook is not None:
                 self._event_hook(when, fn)
+            if self._monitor_hook is not None and when >= self._monitor_due:
+                self._monitor_due = self._monitor_hook(when)
             fn(*args)
             if stop_event is not None and stop_event.triggered:
                 if stop_event.ok:

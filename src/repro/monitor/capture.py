@@ -1,0 +1,172 @@
+"""Run a named experiment with continuous monitoring attached.
+
+This is the machinery behind ``python -m repro monitor <experiment>``
+and ``python -m repro report``: it opens a
+:func:`~repro.monitor.health.use_monitoring` session (every machine the
+experiment builds gets a :class:`~repro.monitor.health.HealthMonitor`),
+installs a bounded ambient :class:`~repro.trace.metrics.MetricsRegistry`
+(histograms capped, falling back to streaming sketches), drives the
+experiment, and finalizes every monitor into health verdicts.
+
+Kept out of ``repro.monitor.__init__`` on purpose, like
+:mod:`repro.trace.capture`: it imports the analysis/MD stack, which
+itself imports the monitored subsystems.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.monitor.health import (
+    DEFAULT_STALL_NS,
+    HealthMonitor,
+    use_monitoring,
+)
+from repro.monitor.report import render_html_report, render_prometheus
+from repro.monitor.sampler import DEFAULT_INTERVAL_NS
+from repro.monitor.watchdog import HealthVerdict
+from repro.trace.metrics import MetricsRegistry, use_registry
+
+#: Experiments the monitor CLI can drive.  ``mdstep`` is the paper's
+#: Fig. 13 workload (one range-limited + one long-range step); the
+#: rest reuse the trace harnesses.
+MONITOR_EXPERIMENTS = ("mdstep", "latency", "allreduce", "transfer", "congestion")
+
+#: Histogram cap for always-on runs: beyond this many observations a
+#: histogram falls back to its streaming sketch (1% relative error).
+DEFAULT_HISTOGRAM_CAP = 4096
+
+
+@dataclass
+class MonitorCapture:
+    """One monitored run: verdicts, series, metrics, and renderers."""
+
+    experiment: str
+    shape: tuple[int, int, int]
+    description: str
+    monitors: list[HealthMonitor]
+    verdicts: list[HealthVerdict]
+    metrics: MetricsRegistry
+
+    @property
+    def monitor(self) -> HealthMonitor:
+        """The run's primary monitor: the one that watched the most
+        activity (sweep experiments build several machines)."""
+        return max(self.monitors, key=lambda m: (m.sim.now, m.sampler.ticks))
+
+    @property
+    def verdict(self) -> HealthVerdict:
+        return self.verdicts[self.monitors.index(self.monitor)]
+
+    @property
+    def healthy(self) -> bool:
+        """True when every machine's verdict is free of errors."""
+        return all(v.healthy for v in self.verdicts)
+
+    def html(self, title: str = "Continuous health report") -> str:
+        monitor = self.monitor
+        return render_html_report(
+            self.verdict,
+            monitor.sampler,
+            self.shape,
+            registry=self.metrics,
+            title=title,
+            experiment=f"{self.experiment} — {self.description}",
+        )
+
+    def prometheus(self) -> str:
+        return render_prometheus(
+            self.verdict, self.monitor.sampler, registry=self.metrics
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        """Diagnostics of the primary monitor as JSONL."""
+        self.monitor.log.write_jsonl(path)
+
+
+def _run_mdstep(shape: tuple[int, int, int], rounds: int) -> str:
+    """Fig. 13's workload: ``rounds`` range-limited + long-range step
+    pairs, atom count scaled with machine size from the paper's DHFR
+    benchmark (23,558 atoms on 512 nodes)."""
+    from repro.analysis.mdstep import build_dhfr_md
+    from repro.constants import DHFR_ATOMS
+
+    nodes = shape[0] * shape[1] * shape[2]
+    atoms = max(512, DHFR_ATOMS * nodes // 512)
+    md = build_dhfr_md(shape, atoms=atoms)
+    rl_ns = lr_ns = 0.0
+    for _ in range(max(1, rounds // 2)):
+        rl_ns = md.run_step("range_limited").total_ns
+        lr_ns = md.run_step("long_range").total_ns
+    return (
+        f"Fig. 13 step pair, {atoms} atoms on {nodes} nodes "
+        f"(range-limited {rl_ns / 1e3:.2f} µs, long-range {lr_ns / 1e3:.2f} µs)"
+    )
+
+
+def run_monitored(
+    experiment: str,
+    shape: tuple[int, int, int] = (4, 4, 4),
+    rounds: int = 2,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    series_capacity: int = 512,
+    slow_every: int = 4,
+    stall_ns: float = DEFAULT_STALL_NS,
+    histogram_max_samples: Optional[int] = DEFAULT_HISTOGRAM_CAP,
+    flight: Optional[bool] = None,
+) -> MonitorCapture:
+    """Drive ``experiment`` with continuous monitoring attached.
+
+    ``flight=None`` (auto) attaches a
+    :class:`~repro.trace.flight.FlightRecorder` for the small trace
+    experiments — it feeds the per-packet latency histograms the
+    sketch-vs-exact report compares — but not for ``mdstep``, whose
+    per-packet record would dwarf the run.  Monitoring itself is
+    passive either way: simulated results are bit-identical with the
+    monitor on or off.
+    """
+    from repro.trace.capture import _RUNNERS as _TRACE_RUNNERS
+
+    runners = dict(_TRACE_RUNNERS)
+    runners["mdstep"] = _run_mdstep
+    runner = runners.get(experiment)
+    if runner is None:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; "
+            f"choose from {MONITOR_EXPERIMENTS}"
+        )
+    if flight is None:
+        flight = experiment != "mdstep"
+
+    metrics = MetricsRegistry(histogram_max_samples=histogram_max_samples)
+    with ExitStack() as stack:
+        session = stack.enter_context(
+            use_monitoring(
+                interval_ns=interval_ns,
+                series_capacity=series_capacity,
+                slow_every=slow_every,
+                stall_ns=stall_ns,
+                registry=metrics,
+            )
+        )
+        stack.enter_context(use_registry(metrics))
+        if flight:
+            from repro.trace.flight import FlightRecorder, use_flight
+
+            stack.enter_context(use_flight(FlightRecorder(metrics=metrics)))
+        description = runner(shape, rounds)
+    if not session.monitors:
+        raise RuntimeError(
+            f"experiment {experiment!r} built no machines to monitor"
+        )
+    verdicts = session.finalize()
+    return MonitorCapture(
+        experiment=experiment,
+        shape=shape,
+        description=description,
+        monitors=session.monitors,
+        verdicts=verdicts,
+        metrics=metrics,
+    )

@@ -60,6 +60,27 @@ class TorusLink:
         """Deepest head-of-line queue ever observed on this direction."""
         return self.channel.peak_queue_length
 
+    @property
+    def queue_length(self) -> int:
+        """Packets currently waiting for this direction (instantaneous
+        depth probe for the continuous-monitoring sampler)."""
+        return self.channel.queue_length
+
+    @property
+    def busy_ns(self) -> float:
+        """Cumulative time this direction has been streaming bits,
+        including any currently open busy interval.
+
+        Monotonically non-decreasing, so the sampler can snapshot it
+        into a ring-buffer series and derive per-window busy fractions
+        from consecutive deltas.
+        """
+        busy = self.channel.total_busy_ns
+        since = self.channel._busy_since
+        if since is not None:
+            busy += self.sim.now - since
+        return busy
+
     def utilization(self, elapsed_ns: float | None = None) -> float:
         """Fraction of time the channel was streaming bits.
 

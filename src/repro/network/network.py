@@ -110,6 +110,19 @@ class Network:
         self.packets_injected = 0
         self.packets_delivered = 0
         self.link_traversals = 0
+        #: Packets whose every delivery has landed (all branches, for
+        #: multicast).  ``packets_injected - packets_completed`` is the
+        #: in-flight count the health watchdogs conserve against.
+        self.packets_completed = 0
+        #: Client deliveries owed by every injected packet (1 per
+        #: unicast, one per reached client for multicast); at
+        #: quiescence this must equal ``packets_delivered`` exactly.
+        self.deliveries_expected = 0
+
+    @property
+    def packets_in_flight(self) -> int:
+        """Packets injected but not yet fully delivered."""
+        return self.packets_injected - self.packets_completed
 
     # ------------------------------------------------------------------
     # wiring
@@ -254,6 +267,7 @@ class _UcastTransit:
         self.cur = src
         self.payload_extra = max(0.0, packet.serialization_ns - _HEADER_SER_NS)
         self.order_prev, self.order_mine = net._inorder_gate(packet, dst)
+        net.deliveries_expected += 1
         net.sim.schedule(SRC_RING_NS, self._next_hop)
 
     def _next_hop(self) -> None:
@@ -303,6 +317,7 @@ class _UcastTransit:
         net._deliver(self.packet, self.packet.dst_node, self.packet.dst_client)
         if self.order_mine is not None and not self.order_mine.triggered:
             self.order_mine.succeed(net.sim.now)
+        net.packets_completed += 1
         self.done.succeed(net.sim.now)
 
 
@@ -334,6 +349,7 @@ class _McastTransit:
         )
         if self.outstanding == 0:
             raise ValueError(f"pattern {packet.pattern_id} delivers to no client")
+        net.deliveries_expected += self.outstanding
         net.sim.schedule(SRC_RING_NS, self._visit, packet.src_node, True)
 
     def _visit(self, node: NodeCoord, first_link: bool) -> None:
@@ -388,6 +404,7 @@ class _McastTransit:
             order_mine.succeed(net.sim.now)
         self.outstanding -= 1
         if self.outstanding == 0:
+            net.packets_completed += 1
             self.done.succeed(net.sim.now)
 
     def _granted(

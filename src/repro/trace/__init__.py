@@ -44,6 +44,7 @@ from repro.trace.metrics import (
     active_registry,
     use_registry,
 )
+from repro.trace.sketch import QuantileSketch
 from repro.trace.flight import (
     NULL_FLIGHT,
     Delivery,
@@ -82,6 +83,7 @@ __all__ = [
     "PacketFlight",
     "PhaseSpan",
     "PollRecord",
+    "QuantileSketch",
     "active_flight",
     "active_registry",
     "chrome_trace",

@@ -30,8 +30,11 @@ simulation results.
 from __future__ import annotations
 
 import math
+import random
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+from repro.trace.sketch import QuantileSketch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.simulator import Simulator
@@ -124,25 +127,82 @@ class Histogram:
     latencies) and sorted lazily on the first percentile query after an
     observation, so the common record-everything-then-report pattern
     sorts once.
+
+    ``max_samples`` bounds memory for always-on monitoring: once more
+    than ``max_samples`` values have been observed, the histogram
+    **falls back to a streaming sketch** — the retained values are
+    replayed into a :class:`~repro.trace.sketch.QuantileSketch`, the
+    stored list degrades to a uniform reservoir (Vitter's algorithm R
+    with a fixed seed, so runs stay deterministic), and every
+    percentile query is answered by the sketch with its documented
+    relative-accuracy guarantee (1% by default) instead of exactly.
+    ``count``/``sum``/``mean``/``min``/``max`` remain exact in both
+    regimes.  The default (``max_samples=None``) keeps the historical
+    keep-everything behaviour.
     """
 
     kind = "histogram"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self.help = help
+        self.max_samples = max_samples
         self._values: list[float] = []
         self._sorted: Optional[list[float]] = None
         self._sum = 0.0
+        self._seen = 0
+        self._min = math.inf
+        self._max = -math.inf
+        #: The streaming fallback; ``None`` until the cap is exceeded.
+        self.sketch: Optional[QuantileSketch] = None
+        self._reservoir_rng: Optional[random.Random] = None
+
+    @property
+    def overflowed(self) -> bool:
+        """True once the cap was exceeded and percentiles are sketch
+        estimates rather than exact."""
+        return self.sketch is not None
 
     def observe(self, value: float) -> None:
-        self._values.append(value)
+        self._seen += 1
         self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        cap = self.max_samples
+        if cap is not None and self._seen > cap:
+            if self.sketch is None:
+                # First overflow: replay the exact values into the
+                # sketch, then keep the list only as a reservoir.
+                self.sketch = QuantileSketch(name=self.name)
+                for v in self._values:
+                    self.sketch.observe(v)
+                self._reservoir_rng = random.Random(0x5EED)
+            self.sketch.observe(value)
+            slot = self._reservoir_rng.randrange(self._seen)  # type: ignore[union-attr]
+            if slot < cap:
+                self._values[slot] = value
+                self._sorted = None
+            return
+        self._values.append(value)
         self._sorted = None
+
+    def values(self) -> list[float]:
+        """Retained observations: every one until the cap is exceeded,
+        a uniform reservoir afterwards (check :attr:`overflowed`)."""
+        return list(self._values)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._seen
 
     @property
     def sum(self) -> float:
@@ -150,28 +210,33 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self._sum / len(self._values) if self._values else 0.0
+        return self._sum / self._seen if self._seen else 0.0
 
     @property
     def min(self) -> float:
-        self._ensure_sorted()
-        return self._sorted[0]  # type: ignore[index]
+        if not self._seen:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return self._min
 
     @property
     def max(self) -> float:
-        self._ensure_sorted()
-        return self._sorted[-1]  # type: ignore[index]
+        if not self._seen:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return self._max
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile; ``p`` in [0, 100].
 
-        Raises :class:`ValueError` on an empty histogram — an absent
-        distribution has no percentiles, and silently returning 0 has
-        masked real bugs in enough telemetry stacks to be worth the
-        explicit failure.
+        Exact until ``max_samples`` is exceeded; a sketch estimate
+        (relative error ≤ 1%) afterwards.  Raises :class:`ValueError`
+        on an empty histogram — an absent distribution has no
+        percentiles, and silently returning 0 has masked real bugs in
+        enough telemetry stacks to be worth the explicit failure.
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.sketch is not None:
+            return self.sketch.percentile(p)
         self._ensure_sorted()
         values = self._sorted
         assert values is not None
@@ -197,9 +262,9 @@ class Histogram:
             self._sorted = sorted(self._values)
 
     def snapshot(self) -> dict:
-        if not self._values:
+        if not self._seen:
             return {"type": self.kind, "count": 0}
-        return {
+        out = {
             "type": self.kind,
             "count": self.count,
             "sum": self._sum,
@@ -210,12 +275,16 @@ class Histogram:
             "p90": self.p90,
             "p99": self.p99,
         }
+        if self.sketch is not None:
+            out["estimated"] = True
+            out["relative_accuracy"] = self.sketch.relative_accuracy
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count}>"
 
 
-Metric = Union[Counter, Gauge, Histogram]
+Metric = Union[Counter, Gauge, Histogram, QuantileSketch]
 
 
 class MetricsRegistry:
@@ -228,8 +297,16 @@ class MetricsRegistry:
     source of truth for what a name means.
     """
 
-    def __init__(self, sim: "Optional[Simulator]" = None) -> None:
+    def __init__(
+        self,
+        sim: "Optional[Simulator]" = None,
+        histogram_max_samples: Optional[int] = None,
+    ) -> None:
         self.sim = sim
+        #: Cap applied to histograms created through this registry;
+        #: ``None`` keeps them exact (the historical behaviour).  The
+        #: monitoring harness sets this so always-on runs are bounded.
+        self.histogram_max_samples = histogram_max_samples
         self._metrics: dict[str, Metric] = {}
 
     def attach(self, sim: "Simulator") -> "MetricsRegistry":
@@ -257,7 +334,22 @@ class MetricsRegistry:
         return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, help)  # type: ignore[return-value]
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(
+                name, help, max_samples=self.histogram_max_samples
+            )
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a histogram"
+            )
+        return metric
+
+    def sketch(self, name: str, help: str = "") -> QuantileSketch:
+        """A streaming percentile sketch registered alongside the
+        exact metric types (bounded memory, 1% relative accuracy)."""
+        return self._get_or_create(QuantileSketch, name, help)  # type: ignore[return-value]
 
     def get(self, name: str) -> Metric:
         return self._metrics[name]
@@ -298,11 +390,14 @@ class MetricsRegistry:
                 hi = m.high_watermark if m.high_watermark != -math.inf else ""
                 rows.append([name, "gauge", m.value, "", "", hi])
             else:
+                kind = m.kind
+                if isinstance(m, Histogram) and m.overflowed:
+                    kind = "histogram~"  # sketch-estimated percentiles
                 if m.count == 0:
-                    rows.append([name, "histogram", 0, "", "", ""])
+                    rows.append([name, kind, 0, "", "", ""])
                 else:
                     rows.append(
-                        [name, "histogram", m.count, m.p50, m.p90, m.p99]
+                        [name, kind, m.count, m.p50, m.p90, m.p99]
                     )
         return render_table(
             title,

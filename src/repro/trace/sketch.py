@@ -1,0 +1,221 @@
+"""Streaming percentile sketches with bounded memory.
+
+The exact :class:`~repro.trace.metrics.Histogram` keeps every
+observation, which is fine for a few hundred thousand latencies but
+not for the always-on monitoring the ROADMAP's production north-star
+demands: a million-packet run must not retain a million floats per
+metric.  :class:`QuantileSketch` is a DDSketch-style estimator
+(Masson, Rim & Lee, VLDB 2019): values are counted in geometrically
+spaced buckets, so any quantile is answered with a *relative* error of
+at most ``relative_accuracy`` from ``O(log(max/min))`` integers —
+independent of how many values were observed.
+
+Two properties matter for this codebase:
+
+* **Determinism** — the sketch is pure arithmetic on the observed
+  values (no randomness, no clocks); two identical runs produce
+  identical sketches, so sketch output can sit in baseline-gated
+  benchmark tables.
+* **Hard memory bound** — ``max_bins`` caps the bucket table; on
+  overflow the lowest buckets are collapsed pairwise (the standard
+  DDSketch policy), which sacrifices accuracy only at the cheap end of
+  the distribution while p90/p99 stay within the guarantee.
+
+The query API mirrors ``Histogram`` (``percentile(p)`` with ``p`` in
+[0, 100], ``p50``/``p90``/``p99`` properties, ``count``/``sum``/
+``mean``/``min``/``max``) so the two are interchangeable in reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class QuantileSketch:
+    """DDSketch-style streaming quantile estimator for non-negative
+    values (latencies, depths, byte counts).
+
+    Parameters
+    ----------
+    name, help:
+        Registry metadata, mirroring the other metric types.
+    relative_accuracy:
+        Guaranteed bound on ``|estimate - exact| / exact`` for any
+        quantile of the observed distribution (default 1%).
+    max_bins:
+        Hard cap on retained buckets.  2048 bins at 1% accuracy span
+        ~17 orders of magnitude, so collapse only triggers on
+        pathological inputs — but the bound is what makes the sketch
+        safe to leave on forever.
+    min_value:
+        Values in ``[0, min_value)`` are counted in a dedicated zero
+        bucket (a log-scale sketch cannot index 0 itself).
+    """
+
+    kind = "sketch"
+
+    def __init__(
+        self,
+        name: str = "",
+        help: str = "",
+        relative_accuracy: float = 0.01,
+        max_bins: int = 2048,
+        min_value: float = 1e-9,
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.name = name
+        self.help = help
+        self.relative_accuracy = relative_accuracy
+        self.max_bins = max_bins
+        self.min_value = min_value
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        #: bucket index -> count; bucket ``k`` covers
+        #: ``(gamma^(k-1), gamma^k]``.
+        self._bins: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        #: Buckets merged away by the memory cap (diagnostic only).
+        self.collapsed_bins = 0
+
+    # -- recording -----------------------------------------------------------
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(
+                f"sketch {self.name!r} accepts non-negative values, got {value}"
+            )
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value < self.min_value:
+            self._zero_count += 1
+            return
+        key = math.ceil(math.log(value) / self._log_gamma)
+        bins = self._bins
+        bins[key] = bins.get(key, 0) + 1
+        if len(bins) > self.max_bins:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        """Merge the two lowest buckets (accuracy is sacrificed at the
+        cheap tail, never at p90/p99)."""
+        low, second = sorted(self._bins)[:2]
+        self._bins[second] += self._bins.pop(low)
+        self.collapsed_bins += 1
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch with the same gamma into this one."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different accuracies "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        for key, n in other._bins.items():
+            self._bins[key] = self._bins.get(key, 0) + n
+        while len(self._bins) > self.max_bins:
+            self._collapse()
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        if not self._count:
+            raise ValueError(f"sketch {self.name!r} has no observations")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if not self._count:
+            raise ValueError(f"sketch {self.name!r} has no observations")
+        return self._max
+
+    @property
+    def bins_used(self) -> int:
+        """Current bucket count (the memory actually held)."""
+        return len(self._bins)
+
+    def percentile(self, p: float) -> float:
+        """Estimated nearest-rank percentile; ``p`` in [0, 100].
+
+        Like :meth:`Histogram.percentile`, an empty sketch raises
+        rather than silently returning 0.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._count:
+            raise ValueError(f"sketch {self.name!r} has no observations")
+        rank = max(1, math.ceil(p / 100.0 * self._count))
+        if rank <= self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        for key in sorted(self._bins):
+            seen += self._bins[key]
+            if seen >= rank:
+                # Midpoint of (gamma^(k-1), gamma^k]: relative error
+                # from the true value is at most relative_accuracy.
+                estimate = 2.0 * self._gamma ** key / (self._gamma + 1.0)
+                # Never report outside the exactly tracked range.
+                return min(max(estimate, self._min), self._max)
+        return self._max  # pragma: no cover - guarded by count check
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def snapshot(self) -> dict:
+        if not self._count:
+            return {"type": self.kind, "count": 0}
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "relative_accuracy": self.relative_accuracy,
+            "bins_used": len(self._bins),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuantileSketch {self.name} n={self._count} "
+            f"bins={len(self._bins)}>"
+        )

@@ -20,7 +20,12 @@ class TestRunSuite:
         rs = run_suite(shape=SHAPE)
         assert {r.benchmark for r in rs} == set(SUITE_BENCHMARKS)
         for r in rs:
-            assert r.value > 0
+            # The monitor perturbation gates are *meant* to be exactly
+            # zero (zero baseline = any drift is an infinite regression).
+            if r.benchmark == "monitor" and r.better == "lower":
+                assert r.value == 0.0
+            else:
+                assert r.value > 0
 
     def test_only_filter(self):
         rs = run_suite(shape=SHAPE, only={"latency", "bandwidth"})

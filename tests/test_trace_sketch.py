@@ -1,0 +1,227 @@
+"""Unit tests for the streaming quantile sketch (trace/sketch.py) and
+the histogram's bounded-memory fallback to it."""
+
+import math
+import random
+
+import pytest
+
+from repro.trace.metrics import Histogram, MetricsRegistry
+from repro.trace.sketch import QuantileSketch
+
+
+class TestQuantileSketch:
+    def test_empty_percentile_raises(self):
+        s = QuantileSketch("s")
+        assert s.count == 0
+        with pytest.raises(ValueError, match="no observations"):
+            s.percentile(50)
+
+    def test_negative_value_rejected(self):
+        s = QuantileSketch("s")
+        with pytest.raises(ValueError, match="negative"):
+            s.observe(-1.0)
+
+    def test_single_value(self):
+        s = QuantileSketch("s")
+        s.observe(162.0)
+        assert s.count == 1
+        assert s.p50 == pytest.approx(162.0, rel=0.01)
+        assert s.min == 162.0
+        assert s.max == 162.0
+
+    def test_relative_accuracy_guarantee(self):
+        """Every quantile estimate is within the configured relative
+        error of the exact nearest-rank answer."""
+        rng = random.Random(7)
+        values = [rng.lognormvariate(5.0, 1.0) for _ in range(20_000)]
+        s = QuantileSketch("s", relative_accuracy=0.01)
+        for v in values:
+            s.observe(v)
+        exact = sorted(values)
+        for p in (1, 10, 25, 50, 75, 90, 99, 99.9):
+            rank = max(0, math.ceil(p / 100 * len(exact)) - 1)
+            truth = exact[rank]
+            assert s.percentile(p) == pytest.approx(truth, rel=0.02)
+
+    def test_fig5_latency_distribution_within_2_percent(self):
+        """Acceptance: sketch p50/p99 within 2% of the exact histogram
+        on a Fig. 5-style end-to-end latency distribution (162 ns base
+        plus per-hop and queueing components)."""
+        rng = random.Random(162)
+        h = Histogram("lat")
+        s = QuantileSketch("lat")
+        for _ in range(50_000):
+            hops = rng.randint(0, 12)
+            queueing = rng.expovariate(1 / 40.0)
+            latency = 162.0 + 50.4 * hops + queueing
+            h.observe(latency)
+            s.observe(latency)
+        assert s.p50 == pytest.approx(h.p50, rel=0.02)
+        assert s.p99 == pytest.approx(h.p99, rel=0.02)
+        # Bounded memory is the point: far fewer bins than samples.
+        assert s.bins_used < 500
+
+    def test_count_sum_mean_min_max_exact(self):
+        values = [1.0, 10.0, 100.0, 1000.0]
+        s = QuantileSketch("s")
+        for v in values:
+            s.observe(v)
+        assert s.count == 4
+        assert s.sum == pytest.approx(sum(values))
+        assert s.mean == pytest.approx(sum(values) / 4)
+        assert s.min == 1.0
+        assert s.max == 1000.0
+
+    def test_zero_and_tiny_values_bucketed(self):
+        s = QuantileSketch("s", min_value=1e-9)
+        s.observe(0.0)
+        s.observe(0.0)
+        s.observe(1e-12)
+        assert s.count == 3
+        assert s.percentile(50) == 0.0
+
+    def test_merge(self):
+        rng = random.Random(3)
+        a = QuantileSketch("a")
+        b = QuantileSketch("b")
+        both = []
+        for _ in range(5000):
+            v = rng.uniform(1, 1e4)
+            a.observe(v)
+            both.append(v)
+        for _ in range(5000):
+            v = rng.uniform(1e3, 1e6)
+            b.observe(v)
+            both.append(v)
+        a.merge(b)
+        exact = sorted(both)
+        assert a.count == len(both)
+        for p in (50, 99):
+            rank = max(0, math.ceil(p / 100 * len(exact)) - 1)
+            assert a.percentile(p) == pytest.approx(exact[rank], rel=0.02)
+
+    def test_merge_requires_same_accuracy(self):
+        a = QuantileSketch("a", relative_accuracy=0.01)
+        b = QuantileSketch("b", relative_accuracy=0.02)
+        with pytest.raises(ValueError, match="accurac"):
+            a.merge(b)
+
+    def test_collapse_bounds_memory(self):
+        """A pathological dynamic range cannot grow the sketch past
+        max_bins; collapses are counted, and upper quantiles (far from
+        the collapsed low bins) stay accurate."""
+        s = QuantileSketch("s", max_bins=64)
+        values = [math.exp(i / 10.0) for i in range(3000)]
+        for v in values:
+            s.observe(v)
+        assert s.bins_used <= 64
+        assert s.collapsed_bins > 0
+        exact = sorted(values)
+        rank = max(0, math.ceil(0.99 * len(exact)) - 1)
+        assert s.percentile(99) == pytest.approx(exact[rank], rel=0.02)
+
+    def test_snapshot(self):
+        s = QuantileSketch("s")
+        for v in (10.0, 20.0, 30.0):
+            s.observe(v)
+        snap = s.snapshot()
+        assert snap["type"] == "sketch"
+        assert snap["count"] == 3
+        assert snap["bins_used"] == s.bins_used
+        assert snap["relative_accuracy"] == 0.01
+
+    def test_deterministic(self):
+        """Same observations, same estimates — no hidden randomness."""
+        def build():
+            s = QuantileSketch("s")
+            for i in range(1, 1000):
+                s.observe(i * 1.7)
+            return [s.percentile(p) for p in (1, 50, 90, 99)]
+
+        assert build() == build()
+
+
+class TestHistogramSketchFallback:
+    def test_exact_below_cap(self):
+        h = Histogram("h", max_samples=100)
+        for i in range(1, 101):
+            h.observe(float(i))
+        assert not h.overflowed
+        assert h.p50 == 50.0  # exact nearest-rank
+        assert len(h.values()) == 100
+
+    def test_fallback_past_cap(self):
+        h = Histogram("h", max_samples=100)
+        for i in range(1, 1001):
+            h.observe(float(i))
+        assert h.overflowed
+        assert h.sketch is not None
+        assert h.count == 1000  # count stays exact
+        assert h.sum == pytest.approx(sum(range(1, 1001)))
+        assert h.min == 1.0 and h.max == 1000.0  # extremes stay exact
+        # Percentiles become sketch estimates with the 1% guarantee.
+        assert h.p50 == pytest.approx(500.0, rel=0.02)
+        assert h.p99 == pytest.approx(990.0, rel=0.02)
+        # The retained list degrades to a bounded reservoir.
+        assert len(h.values()) == 100
+
+    def test_fallback_snapshot_flags_estimation(self):
+        h = Histogram("h", max_samples=10)
+        for i in range(1, 100):
+            h.observe(float(i))
+        snap = h.snapshot()
+        assert snap["estimated"] is True
+        assert snap["relative_accuracy"] == 0.01
+
+    def test_fallback_deterministic(self):
+        """The reservoir uses a fixed seed: two identical runs keep
+        identical reservoirs and estimates."""
+        def build():
+            h = Histogram("h", max_samples=50)
+            for i in range(500):
+                h.observe((i * 37 % 499) + 1.0)
+            return (h.values(), h.p50, h.p99)
+
+        assert build() == build()
+
+    def test_uncapped_histogram_never_overflows(self):
+        h = Histogram("h")
+        for i in range(10_000):
+            h.observe(float(i + 1))
+        assert not h.overflowed
+        assert h.p50 == 5000.0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            Histogram("h", max_samples=0)
+
+
+class TestRegistryIntegration:
+    def test_registry_cap_applies_to_histograms(self):
+        reg = MetricsRegistry(histogram_max_samples=10)
+        h = reg.histogram("lat")
+        for i in range(100):
+            h.observe(float(i + 1))
+        assert h.overflowed
+
+    def test_registry_sketch_metric(self):
+        reg = MetricsRegistry()
+        s = reg.sketch("lat.sketch", help="end-to-end")
+        s.observe(162.0)
+        assert reg.sketch("lat.sketch") is s
+        assert "lat.sketch" in reg
+        assert reg.snapshot()["lat.sketch"]["count"] == 1
+
+    def test_sketch_name_collision_with_other_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="counter"):
+            reg.sketch("x")
+
+    def test_summary_marks_overflowed_histograms(self):
+        reg = MetricsRegistry(histogram_max_samples=5)
+        h = reg.histogram("lat")
+        for i in range(10):
+            h.observe(float(i + 1))
+        assert "histogram~" in reg.summary()
