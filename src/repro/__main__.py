@@ -2,11 +2,17 @@
 
 Quick access to the headline measurements without writing a script:
 
-* ``latency``   — Fig. 5: one-way latency vs hops
+* ``latency``   — Fig. 5: one-way latency vs hops (a sweep pipeline:
+  one grid point per hop count, parallelizable with ``--jobs``)
 * ``breakdown`` — Fig. 6: the 162 ns component breakdown
-* ``allreduce`` — Table 2 rows (pass shapes like ``4x4x4``)
+* ``allreduce`` — Table 2 rows (a sweep pipeline over machine shapes)
 * ``survey``    — Table 1 with the simulated Anton row
 * ``transfer``  — Fig. 7: the 2 KB message-granularity experiment
+* ``sweep``     — run any registered experiment over a parameter grid
+  (``--grid hops=1,2,4,8 --grid shape=4x4x4,8x8x8``) across a process
+  pool, backed by a content-addressed result cache: re-running an
+  unchanged point is a cache hit, corrupted entries are detected and
+  recomputed, and a partially completed sweep resumes with ``--resume``
 * ``trace``     — record a packet flight trace of an experiment and
   export it as Chrome/Perfetto ``trace_event`` JSON (open the file in
   https://ui.perfetto.dev) and optionally JSONL
@@ -23,8 +29,11 @@ Quick access to the headline measurements without writing a script:
   HTML health report (utilization heatmap, time-series charts,
   sketch-vs-exact percentiles) plus optional Prometheus text
 
-Every measurement subcommand also takes ``--metrics``, which runs it
-with the telemetry layer attached and prints the metrics registry
+Every measurement subcommand shares the same canonical flags —
+``--shape``, ``--rounds``, ``--payload``, ``--seed`` — built from one
+argparse parent parser (old spellings survive as hidden deprecated
+aliases that print a one-line warning), plus ``--metrics``, which runs
+it with the telemetry layer attached and prints the metrics registry
 (counters / gauges / latency percentiles) after the result.
 """
 
@@ -32,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from contextlib import ExitStack
 
 
@@ -45,19 +55,279 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
         ) from None
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Accept an old spelling, warn once on stderr, store normally."""
+
+    def __init__(self, option_strings, dest, replacement="", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self._replacement = replacement
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if values in (None, []):
+            return
+        name = option_string or self.metavar or self.dest
+        msg = f"warning: {name} is deprecated"
+        if self._replacement:
+            msg += f"; use {self._replacement}"
+        print(msg, file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _canonical_parent(
+    shape: tuple[int, int, int] = (4, 4, 4),
+    rounds: int = 2,
+    with_shape: bool = True,
+) -> argparse.ArgumentParser:
+    """The shared parent parser: every measurement subcommand takes the
+    same ``--shape --rounds --payload --seed`` spellings (plus
+    ``--metrics``), so flags learned on one command work on all."""
+    p = argparse.ArgumentParser(add_help=False)
+    if with_shape:
+        p.add_argument(
+            "--shape", type=_parse_shape, default=shape,
+            help=f"torus shape, e.g. 8x8x8 (default "
+                 f"{shape[0]}x{shape[1]}x{shape[2]})",
+        )
+    p.add_argument("--rounds", type=int, default=rounds,
+                   help=f"repetitions inside the experiment (default {rounds})")
+    p.add_argument("--payload", type=int, default=0,
+                   help="payload bytes where applicable (default 0)")
+    # Old spelling kept as a hidden deprecated alias.
+    p.add_argument("--payload-bytes", dest="payload", type=int,
+                   action=_DeprecatedAlias, replacement="--payload")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base RNG seed mixed into every run (default 0)")
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="attach the telemetry layer and print metrics after the run",
+    )
+    return p
+
+
+def _sweep_exec_parent(default_cache: bool) -> argparse.ArgumentParser:
+    """Execution flags shared by the sweep-driven commands."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (default 1 = serial; "
+                        "results are bit-identical either way)")
+    if default_cache:
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache directory (default .repro-cache, "
+                        "or $REPRO_CACHE_DIR)" if default_cache else
+                        "enable the result cache rooted at DIR")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write results.json + per-point checkpoints here")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="resume a partially completed sweep from DIR "
+                        "(implies --out DIR)")
+    return p
+
+
+def _make_cache(args, default_on: bool):
+    from repro.runner import ResultCache
+    from repro.runner.cache import default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    if args.cache_dir:
+        return ResultCache(args.cache_dir)
+    return ResultCache(default_cache_dir()) if default_on else None
+
+
+def _effective_jobs(args) -> int:
+    """``--metrics`` accumulates every run into one shared registry,
+    which only a serial, in-process sweep can do."""
+    if getattr(args, "metrics", False) and args.jobs > 1:
+        print("note: --metrics needs in-process runs; forcing --jobs 1",
+              file=sys.stderr)
+        return 1
+    return args.jobs
+
+
+# ---------------------------------------------------------------------------
+# Sweep-driven commands
+# ---------------------------------------------------------------------------
+
+def _run_sweep_cmd(args, registry) -> int:
+    from repro.runner import expand_grid, parse_grid, run_sweep
+
+    try:
+        axes = parse_grid(args.grid or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shape = args.shape
+    if shape is None:
+        # Latency experiments default to the paper's 512-node machine
+        # so the full Fig. 5 hop range is reachable.
+        shape = (8, 8, 8) if args.experiment in ("latency", "fig5") else (4, 4, 4)
+    base = {
+        "shape": shape,
+        "rounds": args.rounds,
+        "payload": args.payload,
+        "seed": args.seed,
+    }
+    try:
+        specs = expand_grid(args.experiment, axes, base)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args, default_on=True)
+    out_dir = args.resume or args.out
+    jobs = _effective_jobs(args)
+    total = len(specs)
+    done = {"n": 0}
+
+    def progress(point):
+        done["n"] += 1
+        line = f"[{done['n']}/{total}] {point.status:>8}  {point.spec.label()}"
+        if point.ok:
+            line += f"  ({point.result.elapsed_ns:.1f} ns)"
+        else:
+            line += f"  {point.error}"
+        print(line)
+
+    t0 = time.perf_counter()
+    report = run_sweep(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        out_dir=out_dir,
+        resume=args.resume is not None,
+        registry=registry,
+        run_registry=registry,
+        progress=progress,
+    )
+    wall = time.perf_counter() - t0
+    print()
+    print(report.verdict().render_text())
+    parts = [f"{report.computed} computed", f"{report.cache_hits} cached"]
+    if report.resumed:
+        parts.append(f"{report.resumed} resumed from checkpoint")
+    if report.failures:
+        parts.append(f"{len(report.failures)} FAILED")
+    print(f"\n{total} grid points: " + ", ".join(parts)
+          + f" in {wall:.2f} s wall-clock (jobs={jobs})")
+    if cache is not None:
+        s = cache.stats
+        print(f"cache {cache.root}: {s.hits} hits, {s.writes} writes, "
+              f"{s.corrupt} corrupt entries recomputed")
+    if out_dir:
+        print(f"wrote {out_dir}/results.json (repro-bench/1) and "
+              f"per-point checkpoints under {out_dir}/points/")
+    return 0 if report.ok else 1
+
+
+def _run_latency(args, registry) -> int:
+    """Fig. 5 rebuilt on the sweep runner: one grid point per hop."""
+    from repro.analysis import render_series
+    from repro.runner import ExperimentSpec, run_sweep
+    from repro.topology.torus import Torus3D
+
+    max_hops = args.max_hops
+    if max_hops is None:
+        max_hops = Torus3D(*args.shape).max_hops()
+    specs = [
+        ExperimentSpec(
+            "fig5", shape=args.shape, rounds=args.rounds, seed=args.seed,
+            hops=h,
+        )
+        for h in range(0, max_hops + 1)
+    ]
+    report = run_sweep(
+        specs,
+        jobs=_effective_jobs(args),
+        cache=_make_cache(args, default_on=False),
+        out_dir=args.resume or args.out,
+        resume=args.resume is not None,
+        registry=registry,
+        run_registry=registry,
+    )
+    if not report.ok:
+        for p in report.failures:
+            print(f"FAILED {p.spec.label()}: {p.error}", file=sys.stderr)
+        return 1
+    hops = [p.spec.hops for p in report.points]
+    curves = {
+        "0B": [p.result.value(f"uni_0B_{p.spec.hops}hop_ns")
+               for p in report.points],
+        "256B": [p.result.value(f"uni_256B_{p.spec.hops}hop_ns")
+                 for p in report.points],
+        "bi 0B": [p.result.value(f"bi_0B_{p.spec.hops}hop_ns")
+                  for p in report.points],
+        "bi 256B": [p.result.value(f"bi_256B_{p.spec.hops}hop_ns")
+                    for p in report.points],
+    }
+    print(render_series(
+        f"One-way latency (ns) vs hops on {args.shape}", "hops", hops, curves,
+    ))
+    return 0
+
+
+def _run_allreduce(args, registry) -> int:
+    """Table 2 rebuilt on the sweep runner: one grid point per
+    (shape, payload) pair."""
+    from repro.analysis import render_table
+    from repro.runner import ExperimentSpec, run_sweep
+
+    shapes = args.shape_list or args.shapes or [(4, 4, 4), (8, 8, 8)]
+    specs = [
+        ExperimentSpec(
+            "allreduce", shape=s, rounds=args.rounds, seed=args.seed,
+            payload=p,
+        )
+        for s in shapes
+        for p in (0, 32)
+    ]
+    report = run_sweep(
+        specs,
+        jobs=_effective_jobs(args),
+        cache=_make_cache(args, default_on=False),
+        out_dir=args.resume or args.out,
+        resume=args.resume is not None,
+        registry=registry,
+        run_registry=registry,
+    )
+    if not report.ok:
+        for p in report.failures:
+            print(f"FAILED {p.spec.label()}: {p.error}", file=sys.stderr)
+        return 1
+    by_key = {(p.spec.shape, p.spec.payload): p.result for p in report.points}
+    rows = []
+    for s in shapes:
+        nodes = s[0] * s[1] * s[2]
+        rows.append([
+            f"{nodes} ({s[0]}x{s[1]}x{s[2]})",
+            by_key[(s, 0)].elapsed_ns / 1e3,
+            by_key[(s, 32)].elapsed_ns / 1e3,
+        ])
+    print(render_table("Global all-reduce (µs)", ["nodes", "0B", "32B"], rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Trace / attribution / bench / monitor commands
+# ---------------------------------------------------------------------------
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.trace.capture import run_traced
     from repro.trace.export import flight_summary, write_chrome_trace, write_jsonl
 
-    cap = run_traced(args.experiment, shape=args.shape, rounds=args.rounds)
-    write_chrome_trace(args.out, cap.flight, metrics=cap.metrics)
+    cap = run_traced(
+        args.experiment, shape=args.shape, rounds=args.rounds,
+        payload=args.payload, seed=args.seed,
+    )
+    write_chrome_trace(args.out, cap.flight, metrics=cap.registry)
     print(f"captured {args.experiment}: {cap.description}")
     print(f"wrote {args.out} (Chrome trace_event JSON; open in ui.perfetto.dev)")
     if args.jsonl:
         write_jsonl(args.jsonl, cap.flight)
         print(f"wrote {args.jsonl} (JSONL, one record per line)")
     print()
-    print(flight_summary(cap.flight, cap.metrics))
+    print(flight_summary(cap.flight, cap.registry))
     return 0
 
 
@@ -95,7 +365,10 @@ def _run_attribute(args: argparse.Namespace) -> int:
     from repro.trace.capture import run_traced
     from repro.analysis.critical_path import branch_hops
 
-    cap = run_traced(args.experiment, shape=args.shape, rounds=args.rounds)
+    cap = run_traced(
+        args.experiment, shape=args.shape, rounds=args.rounds,
+        payload=args.payload, seed=args.seed,
+    )
     torus = Torus3D(*cap.shape)
     print(f"captured {args.experiment}: {cap.description}")
     print()
@@ -141,7 +414,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench.suite import run_suite
 
     only = set(args.only) if args.only else None
-    results = run_suite(shape=args.shape, only=only)
+    results = run_suite(shape=args.shape, only=only, jobs=args.jobs)
     print(f"ran {len(results)} benchmark metrics on {args.shape}")
     if args.out:
         results.write(args.out)
@@ -165,6 +438,8 @@ def _run_monitor(args: argparse.Namespace) -> int:
         interval_ns=args.interval,
         series_capacity=args.capacity,
         stall_ns=args.stall,
+        payload=args.payload,
+        seed=args.seed,
     )
     print(f"monitored {args.experiment}: {cap.description}")
     if len(cap.monitors) > 1:
@@ -201,68 +476,89 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    # Shared by every measurement subcommand: run with telemetry on and
-    # print the metrics registry afterwards.
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument(
-        "--metrics", action="store_true",
-        help="attach the telemetry layer and print metrics after the run",
+    from repro.runner.spec import experiment_names
+
+    p_lat = sub.add_parser(
+        "latency", parents=[_canonical_parent(shape=(8, 8, 8), rounds=4),
+                            _sweep_exec_parent(default_cache=False)],
+        help="Fig. 5: latency vs hops (sweep pipeline)",
     )
+    p_lat.add_argument("--max-hops", type=int, default=None,
+                       help="largest hop count (default: the torus diameter)")
 
-    p_lat = sub.add_parser("latency", parents=[common],
-                           help="Fig. 5: latency vs hops")
-    p_lat.add_argument("--shape", type=_parse_shape, default=(8, 8, 8))
-
-    sub.add_parser("breakdown", parents=[common],
+    sub.add_parser("breakdown", parents=[_canonical_parent()],
                    help="Fig. 6: the 162 ns breakdown")
-    sub.add_parser("survey", parents=[common],
+    sub.add_parser("survey", parents=[_canonical_parent(shape=(8, 8, 8))],
                    help="Table 1 with the simulated Anton row")
-    sub.add_parser("transfer", parents=[common],
+    sub.add_parser("transfer", parents=[_canonical_parent()],
                    help="Fig. 7: 2 KB in 1-64 messages")
 
-    p_ar = sub.add_parser("allreduce", parents=[common],
-                          help="Table 2 all-reduce rows")
-    p_ar.add_argument(
-        "shapes", nargs="*", type=_parse_shape, default=[(4, 4, 4), (8, 8, 8)]
+    p_ar = sub.add_parser(
+        "allreduce",
+        parents=[_canonical_parent(with_shape=False),
+                 _sweep_exec_parent(default_cache=False)],
+        help="Table 2 all-reduce rows (sweep pipeline)",
     )
+    p_ar.add_argument("--shape", dest="shape_list", type=_parse_shape,
+                      action="append", default=None, metavar="SHAPE",
+                      help="machine shape, repeatable "
+                           "(default 4x4x4 and 8x8x8)")
+    # Old spelling: positional shapes, kept as a deprecated alias.
+    p_ar.add_argument("shapes", nargs="*", type=_parse_shape, default=[],
+                      action=_DeprecatedAlias, replacement="--shape",
+                      metavar="shapes")
+
+    p_sw = sub.add_parser(
+        "sweep",
+        parents=[_canonical_parent(with_shape=False),
+                 _sweep_exec_parent(default_cache=True)],
+        help="run any experiment over a parameter grid, parallel + cached",
+        description="Execute a grid of independent runs across a process "
+                    "pool with a content-addressed result cache: "
+                    "re-running an unchanged point is a cache hit, a "
+                    "corrupted entry is detected and recomputed, and a "
+                    "partially completed sweep resumes with --resume DIR.",
+    )
+    p_sw.add_argument("experiment", choices=experiment_names())
+    p_sw.add_argument("--shape", type=_parse_shape, default=None,
+                      help="base torus shape for points the grid doesn't "
+                           "override (default 8x8x8 for latency/fig5, "
+                           "else 4x4x4)")
+    p_sw.add_argument("--grid", action="append", default=[], metavar="KEY=V1,V2",
+                      help="sweep axis, repeatable: shape/rounds/payload/"
+                           "seed/hops or an experiment-specific extra "
+                           "(e.g. --grid hops=1,2,4,8)")
 
     from repro.trace.capture import EXPERIMENTS
 
     p_tr = sub.add_parser(
-        "trace",
+        "trace", parents=[_canonical_parent()],
         help="record a packet flight trace and export it for Perfetto",
     )
     p_tr.add_argument("experiment", choices=EXPERIMENTS)
-    p_tr.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
-    p_tr.add_argument("--rounds", type=int, default=2,
-                      help="repetitions inside the experiment (default 2)")
     p_tr.add_argument("--out", default="trace.json",
                       help="Chrome trace_event JSON output path")
     p_tr.add_argument("--jsonl", default=None,
                       help="also write a JSONL dump to this path")
 
     p_at = sub.add_parser(
-        "attribute",
+        "attribute", parents=[_canonical_parent(shape=(8, 8, 8))],
         help="trace-derived latency attribution (Fig. 6 from recorded spans)",
     )
     p_at.add_argument("experiment", choices=EXPERIMENTS)
     p_at.add_argument("--hops", type=int, default=1,
                       help="network hops for the latency experiment")
-    p_at.add_argument("--shape", type=_parse_shape, default=(8, 8, 8))
-    p_at.add_argument("--payload", type=int, default=0,
-                      help="payload bytes for the latency experiment")
-    p_at.add_argument("--rounds", type=int, default=2,
-                      help="repetitions inside non-latency experiments")
     p_at.add_argument("--top", type=int, default=10,
                       help="link hotspots to show (default 10)")
 
     from repro.bench.suite import SUITE_BENCHMARKS
 
     p_be = sub.add_parser(
-        "bench",
+        "bench", parents=[_canonical_parent()],
         help="run the quick benchmark suite; optionally gate on a baseline",
     )
-    p_be.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
+    p_be.add_argument("--jobs", type=int, default=1,
+                      help="parallel worker processes for suite sweeps")
     p_be.add_argument("--out", default=None,
                       help="write repro-bench/1 JSON results to this path")
     p_be.add_argument("--compare", default=None, metavar="BASELINE",
@@ -279,13 +575,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.monitor.health import DEFAULT_STALL_NS
     from repro.monitor.sampler import DEFAULT_INTERVAL_NS
 
-    mon_common = argparse.ArgumentParser(add_help=False)
+    mon_common = argparse.ArgumentParser(
+        add_help=False, parents=[_canonical_parent()]
+    )
     mon_common.add_argument(
         "experiment", nargs="?", choices=MONITOR_EXPERIMENTS, default="mdstep"
     )
-    mon_common.add_argument("--shape", type=_parse_shape, default=(4, 4, 4))
-    mon_common.add_argument("--rounds", type=int, default=2,
-                            help="repetitions inside the experiment (default 2)")
     mon_common.add_argument(
         "--interval", type=float, default=DEFAULT_INTERVAL_NS,
         help=f"sampling interval in simulated ns (default {DEFAULT_INTERVAL_NS:.0f})",
@@ -343,18 +638,12 @@ def main(argv: list[str] | None = None) -> int:
         stack.enter_context(use_flight(FlightRecorder(metrics=registry)))
 
     with stack:
-        if args.command == "latency":
-            from repro.analysis import latency_vs_hops, render_series
-
-            pts = latency_vs_hops(shape=args.shape)
-            print(render_series(
-                f"One-way latency (ns) vs hops on {args.shape}",
-                "hops", [p.hops for p in pts],
-                {
-                    "0B": [p.uni_0b for p in pts],
-                    "256B": [p.uni_256b for p in pts],
-                },
-            ))
+        if args.command == "sweep":
+            rc = _run_sweep_cmd(args, registry)
+        elif args.command == "latency":
+            rc = _run_latency(args, registry)
+        elif args.command == "allreduce":
+            rc = _run_allreduce(args, registry)
         elif args.command == "breakdown":
             from repro.analysis import breakdown_162ns, render_table
 
@@ -362,12 +651,14 @@ def main(argv: list[str] | None = None) -> int:
             rows = [[label, ns] for label, ns in parts]
             rows.append(["TOTAL", sum(ns for _, ns in parts)])
             print(render_table("The 162 ns write, by component", ["part", "ns"], rows))
+            rc = 0
         elif args.command == "survey":
             from repro.analysis import ping_pong_ns
             from repro.baselines.survey import survey_table
 
-            measured = ping_pong_ns((8, 8, 8), (1, 0, 0)) / 1000.0
+            measured = ping_pong_ns(args.shape, (1, 0, 0)) / 1000.0
             print(survey_table(measured_anton_us=measured))
+            rc = 0
         elif args.command == "transfer":
             from repro.analysis import render_series, transfer_split_series
 
@@ -381,22 +672,14 @@ def main(argv: list[str] | None = None) -> int:
                 },
                 float_format="{:.2f}",
             ))
-        elif args.command == "allreduce":
-            from repro.analysis import measure_allreduce, render_table
-
-            rows = []
-            for shape in args.shapes:
-                p = measure_allreduce(shape)
-                rows.append([f"{p.nodes} ({shape[0]}x{shape[1]}x{shape[2]})",
-                             p.reduce0_us, p.reduce32_us])
-            print(render_table(
-                "Global all-reduce (µs)", ["nodes", "0B", "32B"], rows
-            ))
+            rc = 0
+        else:  # pragma: no cover — argparse enforces the choices
+            raise AssertionError(args.command)
 
     if registry is not None:
         print()
         print(registry.summary())
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

@@ -4,9 +4,10 @@ This is the machinery behind ``python -m repro monitor <experiment>``
 and ``python -m repro report``: it opens a
 :func:`~repro.monitor.health.use_monitoring` session (every machine the
 experiment builds gets a :class:`~repro.monitor.health.HealthMonitor`),
-installs a bounded ambient :class:`~repro.trace.metrics.MetricsRegistry`
-(histograms capped, falling back to streaming sketches), drives the
-experiment, and finalizes every monitor into health verdicts.
+installs a bounded :class:`~repro.trace.metrics.MetricsRegistry`
+(histograms capped, falling back to streaming sketches), dispatches the
+:class:`~repro.runner.spec.ExperimentSpec` through the experiment
+registry, and finalizes every monitor into health verdicts.
 
 Kept out of ``repro.monitor.__init__`` on purpose, like
 :mod:`repro.trace.capture`: it imports the analysis/MD stack, which
@@ -27,12 +28,14 @@ from repro.monitor.health import (
 from repro.monitor.report import render_html_report, render_prometheus
 from repro.monitor.sampler import DEFAULT_INTERVAL_NS
 from repro.monitor.watchdog import HealthVerdict
-from repro.trace.metrics import MetricsRegistry, use_registry
+from repro.runner.result import RunResult, run_experiment
+from repro.runner.spec import ExperimentSpec, experiment_names
+from repro.trace.metrics import MetricsRegistry
 
-#: Experiments the monitor CLI can drive.  ``mdstep`` is the paper's
-#: Fig. 13 workload (one range-limited + one long-range step); the
-#: rest reuse the trace harnesses.
-MONITOR_EXPERIMENTS = ("mdstep", "latency", "allreduce", "transfer", "congestion")
+#: Experiments the monitor CLI can drive: every registered experiment
+#: marked monitorable (``mdstep`` — the paper's Fig. 13 workload — is
+#: the default; the rest are the trace harnesses).
+MONITOR_EXPERIMENTS = experiment_names(monitorable=True)
 
 #: Histogram cap for always-on runs: beyond this many observations a
 #: histogram falls back to its streaming sketch (1% relative error).
@@ -41,7 +44,12 @@ DEFAULT_HISTOGRAM_CAP = 4096
 
 @dataclass
 class MonitorCapture:
-    """One monitored run: verdicts, series, metrics, and renderers."""
+    """One monitored run: verdicts, series, metrics, and renderers.
+
+    ``result`` is the unified :class:`~repro.runner.result.RunResult`
+    of the underlying run; ``experiment``/``shape``/``description``
+    are kept as first-class fields for the renderers.
+    """
 
     experiment: str
     shape: tuple[int, int, int]
@@ -49,6 +57,7 @@ class MonitorCapture:
     monitors: list[HealthMonitor]
     verdicts: list[HealthVerdict]
     metrics: MetricsRegistry
+    result: Optional[RunResult] = None
 
     @property
     def monitor(self) -> HealthMonitor:
@@ -86,26 +95,6 @@ class MonitorCapture:
         self.monitor.log.write_jsonl(path)
 
 
-def _run_mdstep(shape: tuple[int, int, int], rounds: int) -> str:
-    """Fig. 13's workload: ``rounds`` range-limited + long-range step
-    pairs, atom count scaled with machine size from the paper's DHFR
-    benchmark (23,558 atoms on 512 nodes)."""
-    from repro.analysis.mdstep import build_dhfr_md
-    from repro.constants import DHFR_ATOMS
-
-    nodes = shape[0] * shape[1] * shape[2]
-    atoms = max(512, DHFR_ATOMS * nodes // 512)
-    md = build_dhfr_md(shape, atoms=atoms)
-    rl_ns = lr_ns = 0.0
-    for _ in range(max(1, rounds // 2)):
-        rl_ns = md.run_step("range_limited").total_ns
-        lr_ns = md.run_step("long_range").total_ns
-    return (
-        f"Fig. 13 step pair, {atoms} atoms on {nodes} nodes "
-        f"(range-limited {rl_ns / 1e3:.2f} µs, long-range {lr_ns / 1e3:.2f} µs)"
-    )
-
-
 def run_monitored(
     experiment: str,
     shape: tuple[int, int, int] = (4, 4, 4),
@@ -116,29 +105,36 @@ def run_monitored(
     stall_ns: float = DEFAULT_STALL_NS,
     histogram_max_samples: Optional[int] = DEFAULT_HISTOGRAM_CAP,
     flight: Optional[bool] = None,
+    payload: int = 0,
+    seed: int = 0,
 ) -> MonitorCapture:
     """Drive ``experiment`` with continuous monitoring attached.
 
     ``flight=None`` (auto) attaches a
-    :class:`~repro.trace.flight.FlightRecorder` for the small trace
-    experiments — it feeds the per-packet latency histograms the
-    sketch-vs-exact report compares — but not for ``mdstep``, whose
-    per-packet record would dwarf the run.  Monitoring itself is
-    passive either way: simulated results are bit-identical with the
-    monitor on or off.
+    :class:`~repro.trace.flight.FlightRecorder` for experiments the
+    registry marks traceable — it feeds the per-packet latency
+    histograms the sketch-vs-exact report compares — but not for
+    ``mdstep``, whose per-packet record would dwarf the run.
+    Monitoring itself is passive either way: simulated results are
+    bit-identical with the monitor on or off.
     """
-    from repro.trace.capture import _RUNNERS as _TRACE_RUNNERS
+    from repro.runner.spec import get_experiment
 
-    runners = dict(_TRACE_RUNNERS)
-    runners["mdstep"] = _run_mdstep
-    runner = runners.get(experiment)
-    if runner is None:
+    spec = ExperimentSpec(
+        experiment=experiment,
+        shape=shape,
+        rounds=rounds,
+        payload=payload,
+        seed=seed,
+    )
+    defn = get_experiment(spec)
+    if experiment not in MONITOR_EXPERIMENTS:
         raise ValueError(
-            f"unknown experiment {experiment!r}; "
+            f"experiment {experiment!r} is not monitorable; "
             f"choose from {MONITOR_EXPERIMENTS}"
         )
     if flight is None:
-        flight = experiment != "mdstep"
+        flight = defn.traceable
 
     metrics = MetricsRegistry(histogram_max_samples=histogram_max_samples)
     with ExitStack() as stack:
@@ -151,12 +147,7 @@ def run_monitored(
                 registry=metrics,
             )
         )
-        stack.enter_context(use_registry(metrics))
-        if flight:
-            from repro.trace.flight import FlightRecorder, use_flight
-
-            stack.enter_context(use_flight(FlightRecorder(metrics=metrics)))
-        description = runner(shape, rounds)
+        result = run_experiment(spec, flight=flight, registry=metrics)
     if not session.monitors:
         raise RuntimeError(
             f"experiment {experiment!r} built no machines to monitor"
@@ -165,8 +156,9 @@ def run_monitored(
     return MonitorCapture(
         experiment=experiment,
         shape=shape,
-        description=description,
+        description=result.description,
         monitors=session.monitors,
         verdicts=verdicts,
         metrics=metrics,
+        result=result,
     )

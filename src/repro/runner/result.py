@@ -1,0 +1,217 @@
+"""The one result type every run produces: :class:`RunResult`.
+
+``run_traced`` used to hand back an ad-hoc capture object, the monitor
+CLI another, and the bench suite raw floats.  The runner subsystem
+funnels them all through :class:`RunResult`: the spec that produced
+the run, the headline simulated elapsed nanoseconds, the named
+measurements, a plain-data metrics snapshot, and any artifact paths.
+The serializable core round-trips through :meth:`RunResult.to_dict` /
+:meth:`RunResult.from_dict` — that is what the content-addressed cache
+stores and what sweep workers ship back across the process boundary.
+Live handles (the flight recorder and metrics registry of an
+in-process run) ride along as non-serialized attributes for the trace
+and monitor exporters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.bench.results import BenchResult
+from repro.runner.spec import ExperimentSpec, get_experiment
+from repro.trace.metrics import MetricsRegistry, use_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.flight import FlightRecorder
+
+_BETTER = ("lower", "higher")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One named scalar a run measured (maps 1:1 onto a
+    ``repro-bench/1`` result row when a sweep persists it)."""
+
+    metric: str
+    value: float
+    units: str = "ns"
+    better: str = "lower"
+
+    def __post_init__(self) -> None:
+        if not self.metric or not self.units:
+            raise ValueError("metric and units must be non-empty")
+        if self.better not in _BETTER:
+            raise ValueError(f"better must be one of {_BETTER}")
+        object.__setattr__(self, "value", float(self.value))
+        if not math.isfinite(self.value):
+            raise ValueError(f"{self.metric}: value must be finite")
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "value": self.value,
+            "units": self.units,
+            "better": self.better,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Measurement":
+        missing = {"metric", "value"} - set(doc)
+        if missing:
+            raise ValueError(f"measurement missing fields: {sorted(missing)}")
+        return cls(
+            metric=doc["metric"],
+            value=doc["value"],
+            units=doc.get("units", "ns"),
+            better=doc.get("better", "lower"),
+        )
+
+
+@dataclass
+class Outcome:
+    """What a registered experiment function returns: the pieces of a
+    :class:`RunResult` the framework cannot derive itself."""
+
+    description: str
+    elapsed_ns: float
+    measurements: tuple[Measurement, ...] = ()
+
+
+@dataclass
+class RunResult:
+    """One completed run.  ``metrics`` is a plain-data registry
+    snapshot (serializable); ``registry`` and ``flight`` are the live
+    in-process objects and are dropped on serialization."""
+
+    spec: ExperimentSpec
+    elapsed_ns: float
+    description: str
+    measurements: tuple[Measurement, ...] = ()
+    metrics: dict = field(default_factory=dict)
+    artifacts: tuple[str, ...] = ()
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
+    flight: "Optional[FlightRecorder]" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def experiment(self) -> str:
+        return self.spec.experiment
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.spec.shape
+
+    def value(self, metric: str) -> float:
+        for m in self.measurements:
+            if m.metric == metric:
+                return m.value
+        raise KeyError(
+            f"no measurement {metric!r} in "
+            f"{[m.metric for m in self.measurements]}"
+        )
+
+    def to_bench_results(self) -> list[BenchResult]:
+        """Measurements as ``repro-bench/1`` rows keyed by the spec."""
+        config = self.spec.to_config()
+        return [
+            BenchResult(
+                benchmark=self.spec.experiment,
+                metric=m.metric,
+                value=m.value,
+                units=m.units,
+                better=m.better,
+                config=config,
+            )
+            for m in self.measurements
+        ]
+
+    # -- serialization (the cacheable core) --------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "elapsed_ns": float(self.elapsed_ns),
+            "description": self.description,
+            "measurements": [m.to_dict() for m in self.measurements],
+            "metrics": self.metrics,
+            "artifacts": list(self.artifacts),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunResult":
+        missing = {"spec", "elapsed_ns", "description"} - set(doc)
+        if missing:
+            raise ValueError(f"result document missing fields: {sorted(missing)}")
+        return cls(
+            spec=ExperimentSpec.from_dict(doc["spec"]),
+            elapsed_ns=float(doc["elapsed_ns"]),
+            description=doc["description"],
+            measurements=tuple(
+                Measurement.from_dict(m) for m in doc.get("measurements", ())
+            ),
+            metrics=doc.get("metrics", {}),
+            artifacts=tuple(doc.get("artifacts", ())),
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    flight: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> RunResult:
+    """Execute one spec through the registry and wrap the outcome.
+
+    The run is hermetic and deterministic: the ambient RNG is seeded
+    from the spec's content (so stochastic components, if any, repeat
+    bit-for-bit in any process), and a fresh metrics registry is
+    installed unless the caller passes one to accumulate into.
+    ``flight=True`` additionally attaches a flight recorder (the trace
+    pipeline's mode).
+    """
+    defn = get_experiment(spec)
+    own_registry = registry is None
+    if own_registry:
+        registry = MetricsRegistry()
+    random.seed(spec.derived_seed())
+    recorder = None
+    with ExitStack() as stack:
+        stack.enter_context(use_registry(registry))
+        if flight:
+            from repro.trace.flight import FlightRecorder, use_flight
+
+            recorder = FlightRecorder(metrics=registry)
+            stack.enter_context(use_flight(recorder))
+        outcome = defn.func(spec)
+    if not isinstance(outcome, Outcome):
+        raise TypeError(
+            f"experiment {spec.experiment!r} returned {type(outcome)}, "
+            "expected Outcome"
+        )
+    return RunResult(
+        spec=spec,
+        elapsed_ns=float(outcome.elapsed_ns),
+        description=outcome.description,
+        measurements=tuple(outcome.measurements),
+        metrics=registry.snapshot() if own_registry else {},
+        registry=registry,
+        flight=recorder,
+    )
+
+
+def results_to_set(results: Iterable[RunResult]):
+    """Collect many runs' measurements into one
+    :class:`~repro.bench.results.ResultSet`."""
+    from repro.bench.results import ResultSet
+
+    out = ResultSet()
+    for result in results:
+        for row in result.to_bench_results():
+            out.add(row)
+    return out

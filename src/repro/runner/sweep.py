@@ -1,0 +1,476 @@
+"""Parallel sweep orchestration over grids of independent runs.
+
+The paper's figures are all sweeps — latency vs hops (Fig. 5),
+message granularity (Fig. 7), all-reduce across torus shapes
+(Table 2) — and every grid point is an independent discrete-event
+simulation.  :func:`run_sweep` executes such a grid:
+
+* **Parallel but reproducible** — points run across a
+  ``ProcessPoolExecutor`` (``jobs`` workers), yet results are
+  collected *by grid index*, so the persisted output is bit-identical
+  to a serial run: parallelism changes wall-clock, never bytes.
+* **Deterministic seeds** — every run derives its RNG seed from the
+  spec's content (:meth:`ExperimentSpec.derived_seed`), so a point
+  computes the same result in any process, any order, any worker.
+* **Content-addressed caching** — an optional
+  :class:`~repro.runner.cache.ResultCache` is consulted before
+  dispatch; hits skip the simulation entirely and corrupt entries are
+  detected (hash validation) and recomputed, never served.
+* **Resumable checkpointing** — with an output directory, every
+  completed point is written atomically under ``points/`` next to a
+  sweep manifest; ``resume=True`` picks up where a previous partial
+  sweep stopped.
+* **Progress and failure reporting** — per-point counters land in the
+  metrics registry (``sweep.*``) and the final judgement is an
+  ordinary :class:`~repro.monitor.watchdog.HealthVerdict`, so sweep
+  health renders and gates exactly like the monitor subsystem's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.bench.results import ResultSet, canonical_json
+from repro.monitor.watchdog import LEVELS, CheckResult, HealthVerdict
+from repro.runner.cache import ResultCache, atomic_write_json
+from repro.runner.result import RunResult, run_experiment
+from repro.runner.spec import ExperimentSpec, get_experiment
+from repro.trace.metrics import MetricsRegistry, active_registry
+
+#: Manifest schema for sweep checkpoints; bump on layout changes.
+SWEEP_SCHEMA = "repro-sweep/1"
+
+#: Spec fields a grid axis may target directly; anything else becomes
+#: an experiment-specific extra.
+SPEC_AXES = ("shape", "rounds", "payload", "seed", "hops")
+
+
+# ---------------------------------------------------------------------------
+# Grid parsing and expansion
+# ---------------------------------------------------------------------------
+
+def _parse_shape_value(text: str) -> tuple[int, int, int]:
+    try:
+        x, y, z = (int(p) for p in text.lower().split("x"))
+        return (x, y, z)
+    except ValueError:
+        raise ValueError(f"shape must look like 8x8x8, got {text!r}") from None
+
+
+def _parse_axis_value(key: str, text: str) -> Any:
+    text = text.strip()
+    if key == "shape":
+        return _parse_shape_value(text)
+    if key in ("rounds", "payload", "seed", "hops"):
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(f"grid axis {key!r} needs integers, got {text!r}")
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            pass
+    return text
+
+
+def parse_grid(items: Iterable[str]) -> dict[str, list]:
+    """Parse repeated ``--grid key=v1,v2,...`` arguments into ordered
+    axes.  Axis order is preserved: it defines expansion order."""
+    axes: dict[str, list] = {}
+    for item in items:
+        key, sep, values = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"grid axis must look like key=v1,v2,... got {item!r}"
+            )
+        if key in axes:
+            raise ValueError(f"duplicate grid axis {key!r}")
+        parsed = [
+            _parse_axis_value(key, v) for v in values.split(",") if v.strip()
+        ]
+        if not parsed:
+            raise ValueError(f"grid axis {key!r} has no values")
+        axes[key] = parsed
+    return axes
+
+
+def expand_grid(
+    experiment: str,
+    axes: dict[str, list],
+    base: Optional[dict[str, Any]] = None,
+) -> list[ExperimentSpec]:
+    """The cartesian product of ``axes`` as specs, in deterministic
+    order (axes in given order, last axis fastest)."""
+    get_experiment(experiment)  # fail fast on unknown names
+    base = dict(base or {})
+    keys = list(axes)
+    specs = []
+    for combo in itertools.product(*(axes[k] for k in keys)):
+        params = dict(base)
+        params.update(zip(keys, combo))
+        spec_kwargs = {k: v for k, v in params.items() if k in SPEC_AXES}
+        extras = {k: v for k, v in params.items() if k not in SPEC_AXES}
+        spec = ExperimentSpec(experiment=experiment, **spec_kwargs)
+        if extras:
+            spec = spec.with_extras(**extras)
+        specs.append(spec)
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepPoint:
+    """One grid point's fate."""
+
+    index: int
+    spec: ExperimentSpec
+    result: Optional[RunResult] = None
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None and self.error is None
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "failed"
+        return "cached" if self.cached else "computed"
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, in grid order."""
+
+    points: list[SweepPoint]
+    jobs: int
+    cache: Optional[ResultCache] = None
+    out_dir: Optional[str] = None
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    @property
+    def failures(self) -> list[SweepPoint]:
+        return [p for p in self.points if p.error is not None]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for p in self.points if p.ok and not p.cached)
+
+    def results(self) -> list[RunResult]:
+        return [p.result for p in self.points if p.ok]
+
+    def result_set(self) -> ResultSet:
+        """All measurements as one ``repro-bench/1`` document.  Built
+        from points in grid order; since specs are distinct and the
+        set orders canonically, the bytes are independent of worker
+        scheduling — a ``--jobs 8`` sweep serializes identically to
+        ``--jobs 1``."""
+        out = ResultSet()
+        for p in self.points:
+            if p.ok:
+                for row in p.result.to_bench_results():
+                    out.add(row)
+        return out
+
+    def verdict(self) -> HealthVerdict:
+        """The sweep's health as the monitor subsystem's verdict type
+        (renders and gates like any other health check)."""
+        total = len(self.points)
+        done = sum(1 for p in self.points if p.ok)
+        checks = [
+            CheckResult(
+                name="sweep.completed",
+                status="ok" if done == total else "error",
+                detail=f"{done}/{total} grid points completed",
+            ),
+            CheckResult(
+                name="sweep.failures",
+                status="ok" if not self.failures else "error",
+                detail=(
+                    "no failed points"
+                    if not self.failures
+                    else "; ".join(
+                        f"#{p.index} {p.spec.label()}: {p.error}"
+                        for p in self.failures[:4]
+                    )
+                    + ("" if len(self.failures) <= 4 else " ...")
+                ),
+            ),
+        ]
+        corrupt = self.cache.stats.corrupt if self.cache else 0
+        checks.append(
+            CheckResult(
+                name="sweep.cache_integrity",
+                status="ok" if corrupt == 0 else "warning",
+                detail=(
+                    "all cache entries verified"
+                    if corrupt == 0
+                    else f"{corrupt} corrupt cache entr"
+                    + ("y" if corrupt == 1 else "ies")
+                    + " detected and recomputed"
+                ),
+            )
+        )
+        return HealthVerdict(
+            checks=checks,
+            sim_time_ns=sum(p.result.elapsed_ns for p in self.points if p.ok),
+            packets_injected=0,
+            packets_delivered=0,
+            packets_in_flight=0,
+            samples_recorded=done,
+            dropped_samples=0,
+            dropped_events=0,
+            dropped_diagnostics=0,
+            diagnostic_counts={level: 0 for level in LEVELS},
+        )
+
+    def summary_doc(self) -> dict:
+        return {
+            "schema": "repro-sweep-summary/1",
+            "points": len(self.points),
+            "completed": sum(1 for p in self.points if p.ok),
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "resumed": self.resumed,
+            "failures": [
+                {"index": p.index, "spec": p.spec.to_dict(), "error": p.error}
+                for p in self.failures
+            ],
+            "jobs": self.jobs,
+            "cache": self.cache.stats.as_dict() if self.cache else None,
+        }
+
+
+def sweep_key(specs: Sequence[ExperimentSpec]) -> str:
+    """12-hex identity of a sweep: the ordered list of its specs."""
+    doc = {"schema": SWEEP_SCHEMA, "specs": [s.to_dict() for s in specs]}
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()[:12]
+
+
+def _execute_spec(doc: dict) -> dict:
+    """Worker entry point: runs in a fresh process, returns only
+    plain data (the RunResult's serializable core)."""
+    spec = ExperimentSpec.from_dict(doc)
+    return run_experiment(spec).to_dict()
+
+
+def _point_path(out_dir: str, index: int) -> str:
+    return os.path.join(out_dir, "points", f"{index:04d}.json")
+
+
+def _write_point(out_dir: str, point: SweepPoint) -> None:
+    payload = point.result.to_dict()
+    atomic_write_json(
+        _point_path(out_dir, point.index),
+        {
+            "schema": SWEEP_SCHEMA,
+            "index": point.index,
+            "spec_hash": point.spec.spec_hash,
+            "payload": payload,
+            "payload_sha256": hashlib.sha256(
+                canonical_json(payload).encode("utf-8")
+            ).hexdigest(),
+        },
+    )
+
+
+def _load_point(out_dir: str, index: int, spec: ExperimentSpec) -> Optional[RunResult]:
+    """A previously checkpointed point, or ``None`` if absent or
+    invalid (same trust model as the cache: verify, never assume)."""
+    path = _point_path(out_dir, index)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    try:
+        if doc.get("schema") != SWEEP_SCHEMA or doc.get("index") != index:
+            return None
+        if doc.get("spec_hash") != spec.spec_hash:
+            return None
+        payload = doc["payload"]
+        digest = hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+        if digest != doc.get("payload_sha256"):
+            return None
+        result = RunResult.from_dict(payload)
+        if result.spec != spec:
+            return None
+        return result
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _write_manifest(out_dir: str, specs: Sequence[ExperimentSpec]) -> None:
+    atomic_write_json(
+        os.path.join(out_dir, "manifest.json"),
+        {
+            "schema": SWEEP_SCHEMA,
+            "sweep_key": sweep_key(specs),
+            "specs": [s.to_dict() for s in specs],
+        },
+    )
+
+
+def _check_resumable(out_dir: str, specs: Sequence[ExperimentSpec]) -> None:
+    path = os.path.join(out_dir, "manifest.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        return  # nothing to resume from; fresh checkpoint dir
+    except (OSError, ValueError):
+        raise ValueError(f"unreadable sweep manifest {path}") from None
+    if doc.get("sweep_key") != sweep_key(specs):
+        raise ValueError(
+            f"{out_dir} checkpoints a different sweep "
+            f"(manifest key {doc.get('sweep_key')!r}, "
+            f"this sweep {sweep_key(specs)!r}); pass a fresh --resume dir"
+        )
+
+
+def run_sweep(
+    specs: Sequence[ExperimentSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    out_dir: Optional[str] = None,
+    resume: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+    run_registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[SweepPoint], None]] = None,
+) -> SweepReport:
+    """Execute every spec and collect results in grid order.
+
+    ``jobs`` > 1 fans uncached points out over a process pool; 1 runs
+    them serially in-process (same bytes either way).  ``cache`` makes
+    unchanged points hits; ``out_dir`` checkpoints each completed
+    point and, with ``resume=True``, skips points a previous partial
+    sweep already finished.  ``registry`` (default: the ambient one)
+    receives ``sweep.*`` progress counters; ``run_registry`` lets a
+    serial caller accumulate per-run metrics into a shared registry
+    (the CLI's ``--metrics``).  ``progress`` is invoked once per point
+    as it settles, in settlement order.
+    """
+    specs = list(specs)
+    if len(set(specs)) != len(specs):
+        raise ValueError("sweep contains duplicate specs")
+    for spec in specs:
+        get_experiment(spec)  # fail fast before any work
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    registry = registry if registry is not None else active_registry()
+
+    def count(name: str, amount: float = 1.0) -> None:
+        if registry is not None:
+            registry.counter(
+                f"sweep.{name}", help="sweep progress/failure reporting"
+            ).inc(amount)
+
+    count("points", len(specs))
+    points = [SweepPoint(index=i, spec=s) for i, s in enumerate(specs)]
+
+    if out_dir:
+        if resume:
+            _check_resumable(out_dir, specs)
+        _write_manifest(out_dir, specs)
+
+    resumed = 0
+    pending: list[SweepPoint] = []
+    for point in points:
+        if out_dir and resume:
+            prior = _load_point(out_dir, point.index, point.spec)
+            if prior is not None:
+                point.result = prior
+                point.cached = True
+                resumed += 1
+                count("resumed")
+                if progress:
+                    progress(point)
+                continue
+        if cache is not None:
+            hit = cache.get(point.spec)
+            if hit is not None:
+                point.result = hit
+                point.cached = True
+                count("cache_hits")
+                if out_dir:
+                    _write_point(out_dir, point)
+                if progress:
+                    progress(point)
+                continue
+            count("cache_misses")
+        pending.append(point)
+
+    def settle(point: SweepPoint) -> None:
+        if point.ok:
+            count("computed")
+            if cache is not None:
+                cache.put(point.result)
+            if out_dir:
+                _write_point(out_dir, point)
+        else:
+            count("failures")
+        if progress:
+            progress(point)
+
+    if jobs == 1 or len(pending) <= 1:
+        for point in pending:
+            try:
+                point.result = run_experiment(
+                    point.spec, registry=run_registry
+                )
+            except Exception as exc:  # noqa: BLE001 — reported, not hidden
+                point.error = f"{type(exc).__name__}: {exc}"
+            settle(point)
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_spec, point.spec.to_dict()): point
+                for point in pending
+            }
+            for future in as_completed(futures):
+                point = futures[future]
+                try:
+                    point.result = RunResult.from_dict(future.result())
+                except Exception as exc:  # noqa: BLE001
+                    point.error = f"{type(exc).__name__}: {exc}"
+                settle(point)
+
+    report = SweepReport(
+        points=points,
+        jobs=jobs,
+        cache=cache,
+        out_dir=out_dir,
+        resumed=resumed,
+    )
+    if cache is not None:
+        count("cache_corrupt", cache.stats.corrupt)
+    if out_dir:
+        report.result_set().write(os.path.join(out_dir, "results.json"))
+        atomic_write_json(
+            os.path.join(out_dir, "summary.json"), report.summary_doc()
+        )
+    return report

@@ -1,138 +1,52 @@
 """Run a named experiment with full telemetry attached.
 
 This is the machinery behind ``python -m repro trace <experiment>``:
-it installs a fresh :class:`~repro.trace.flight.FlightRecorder` and
-:class:`~repro.trace.metrics.MetricsRegistry` as the ambient telemetry
-context, drives one of the paper's measurement harnesses (which build
-their machines internally and therefore pick the recorder up through
-:func:`~repro.trace.flight.active_flight`), and hands back everything
-needed for export.
+it builds an :class:`~repro.runner.spec.ExperimentSpec`, dispatches it
+through the experiment registry with a fresh
+:class:`~repro.trace.flight.FlightRecorder` and
+:class:`~repro.trace.metrics.MetricsRegistry` installed as the ambient
+telemetry context, and hands back the unified
+:class:`~repro.runner.result.RunResult` (whose ``flight`` and
+``registry`` attributes carry the live recorders for export).
 
-Kept out of ``repro.trace.__init__`` on purpose: it imports the
-analysis/asic stack, which itself imports ``repro.trace`` — importing
-it lazily (CLI, tests) keeps the trace package cycle-free.
+Kept out of ``repro.trace.__init__`` on purpose: the registered
+experiments import the analysis/asic stack, which itself imports
+``repro.trace`` — importing this lazily (CLI, tests) keeps the trace
+package cycle-free.
 """
 
 from __future__ import annotations
 
-from contextlib import ExitStack
-from dataclasses import dataclass
+from typing import Optional
 
-from repro.trace.flight import FlightRecorder, use_flight
-from repro.trace.metrics import MetricsRegistry, use_registry
+from repro.runner.result import RunResult, run_experiment
+from repro.runner.spec import ExperimentSpec, experiment_names
 
-#: Experiments the trace CLI can capture.
-EXPERIMENTS = ("latency", "allreduce", "transfer", "congestion")
-
-
-@dataclass
-class TraceCapture:
-    """One captured run: the recorders plus a one-line description."""
-
-    experiment: str
-    shape: tuple[int, int, int]
-    flight: FlightRecorder
-    metrics: MetricsRegistry
-    description: str
-
-
-def _run_latency(shape: tuple[int, int, int], rounds: int) -> str:
-    from repro.analysis.latency import latency_vs_hops
-
-    points = latency_vs_hops(shape=shape, rounds=rounds)
-    return (
-        f"Fig. 5 ping-pong sweep, hops 0..{points[-1].hops}, "
-        f"{rounds} rounds per configuration"
-    )
-
-
-def _run_allreduce(shape: tuple[int, int, int], rounds: int) -> str:
-    from repro.analysis.reduction import measure_allreduce
-
-    point = measure_allreduce(shape)
-    return (
-        f"dimension-ordered all-reduce over {point.nodes} nodes "
-        f"(0B: {point.reduce0_us:.2f} µs, 32B: {point.reduce32_us:.2f} µs)"
-    )
-
-
-def _run_transfer(shape: tuple[int, int, int], rounds: int) -> str:
-    from repro.analysis.transfer import anton_transfer_ns
-
-    ns = anton_transfer_ns(2048, 8, hops=1, shape=shape)
-    return f"2 KB transfer as 8 messages over one X hop ({ns:.0f} ns)"
-
-
-def _run_congestion(shape: tuple[int, int, int], rounds: int) -> str:
-    """Many-to-one incast: the heaviest head-of-line queueing the
-    torus produces, for exercising the queue-depth telemetry."""
-    from repro.asic.node import build_machine
-    from repro.engine.simulator import Simulator
-
-    sim = Simulator()
-    machine = build_machine(sim, *shape)
-    target = machine.torus.coord((0, 0, 0))
-    dst = machine.node(target).slice(0)
-    senders = [
-        machine.node(c).slice(0)
-        for c in machine.torus.nodes()
-        if c != target
-    ][:8]
-    dst.memory.allocate("sink", len(senders))
-
-    def sender(s, slot):
-        for _ in range(rounds):
-            yield from s.send_write(
-                target, dst.name, counter_id="sink", address=("sink", slot),
-                payload_bytes=256,
-            )
-
-    def receiver():
-        yield from dst.poll("sink", len(senders) * rounds)
-
-    procs = [sim.process(sender(s, i)) for i, s in enumerate(senders)]
-    procs.append(sim.process(receiver()))
-    sim.run(until=sim.all_of(procs))
-    return (
-        f"{len(senders)}-to-1 incast of 256 B writes, "
-        f"{rounds} rounds per sender"
-    )
-
-
-_RUNNERS = {
-    "latency": _run_latency,
-    "allreduce": _run_allreduce,
-    "transfer": _run_transfer,
-    "congestion": _run_congestion,
-}
+#: Experiments the trace CLI can capture (every registered experiment
+#: whose per-packet record stays proportionate to the run).
+EXPERIMENTS = experiment_names(traceable=True)
 
 
 def run_traced(
     experiment: str,
     shape: tuple[int, int, int] = (4, 4, 4),
     rounds: int = 2,
-) -> TraceCapture:
+    payload: int = 0,
+    seed: int = 0,
+    hops: Optional[int] = None,
+) -> RunResult:
     """Capture one experiment with flight recording and metrics on.
 
-    The returned capture is deterministic: running the same experiment
-    twice (even in the same process) yields recorders whose exported
-    traces are byte-identical.
+    The returned result is deterministic: running the same spec twice
+    (even in the same process) yields recorders whose exported traces
+    are byte-identical.
     """
-    runner = _RUNNERS.get(experiment)
-    if runner is None:
-        raise ValueError(
-            f"unknown experiment {experiment!r}; choose from {EXPERIMENTS}"
-        )
-    metrics = MetricsRegistry()
-    flight = FlightRecorder(metrics=metrics)
-    with ExitStack() as stack:
-        stack.enter_context(use_flight(flight))
-        stack.enter_context(use_registry(metrics))
-        description = runner(shape, rounds)
-    return TraceCapture(
+    spec = ExperimentSpec(
         experiment=experiment,
         shape=shape,
-        flight=flight,
-        metrics=metrics,
-        description=description,
+        rounds=rounds,
+        payload=payload,
+        seed=seed,
+        hops=hops,
     )
+    return run_experiment(spec, flight=True)

@@ -157,6 +157,7 @@ class Histogram:
         self._values: list[float] = []
         self._sorted: Optional[list[float]] = None
         self._sum = 0.0
+        self._sum_c = 0.0  # Neumaier compensation: survives cancellation
         self._seen = 0
         self._min = math.inf
         self._max = -math.inf
@@ -172,7 +173,12 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         self._seen += 1
-        self._sum += value
+        t = self._sum + value
+        if abs(self._sum) >= abs(value):
+            self._sum_c += (self._sum - t) + value
+        else:
+            self._sum_c += (value - t) + self._sum
+        self._sum = t
         if value < self._min:
             self._min = value
         if value > self._max:
@@ -206,11 +212,11 @@ class Histogram:
 
     @property
     def sum(self) -> float:
-        return self._sum
+        return self._sum + self._sum_c
 
     @property
     def mean(self) -> float:
-        return self._sum / self._seen if self._seen else 0.0
+        return self.sum / self._seen if self._seen else 0.0
 
     @property
     def min(self) -> float:
@@ -267,7 +273,7 @@ class Histogram:
         out = {
             "type": self.kind,
             "count": self.count,
-            "sum": self._sum,
+            "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,

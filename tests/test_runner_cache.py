@@ -1,0 +1,135 @@
+"""Content-addressed result cache (runner/cache.py).
+
+Integrity is the contract under test: entries are verified on read
+(schema, key, payload hash, spec equality), corruption is counted and
+recomputed rather than served, and writes are atomic.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner.cache import (
+    ResultCache,
+    atomic_write_json,
+    code_fingerprint,
+)
+from repro.runner.result import run_experiment
+from repro.runner.spec import ExperimentSpec
+
+SPEC = ExperimentSpec("transfer", shape=(2, 2, 2))
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, cache):
+        result = run_experiment(SPEC)
+        path = cache.put(result)
+        assert os.path.exists(path)
+        hit = cache.get(SPEC)
+        assert hit is not None
+        assert hit.spec == SPEC
+        assert hit.elapsed_ns == result.elapsed_ns
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_missing_entry_is_a_miss(self, cache):
+        assert cache.get(SPEC) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_changed_spec_field_changes_the_key(self, cache):
+        cache.put(run_experiment(SPEC))
+        assert cache.get(SPEC.replace(rounds=3)) is None
+        assert cache.get(SPEC.replace(seed=1)) is None
+        assert cache.get(SPEC.with_extras(messages=4)) is None
+        assert cache.get(SPEC) is not None
+
+    def test_code_fingerprint_participates_in_the_key(self, tmp_path):
+        a = ResultCache(str(tmp_path), fingerprint="aaa")
+        b = ResultCache(str(tmp_path), fingerprint="bbb")
+        assert a.key(SPEC) != b.key(SPEC)
+        a.put(run_experiment(SPEC))
+        assert b.get(SPEC) is None  # different code = cold cache
+        assert a.get(SPEC) is not None
+
+
+class TestCorruption:
+    def _entry_path(self, cache):
+        return cache.path(cache.key(SPEC))
+
+    def test_truncated_json_detected_and_deleted(self, cache):
+        cache.put(run_experiment(SPEC))
+        path = self._entry_path(cache)
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro-cache/1", "payl')
+        assert cache.get(SPEC) is None
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(path)
+
+    def test_poisoned_payload_hash_detected(self, cache):
+        cache.put(run_experiment(SPEC))
+        path = self._entry_path(cache)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["payload"]["elapsed_ns"] = 1.0  # tamper without re-hashing
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        assert cache.get(SPEC) is None
+        assert cache.stats.corrupt == 1
+
+    def test_entry_for_wrong_spec_detected(self, cache):
+        other = SPEC.replace(rounds=9)
+        cache.put(run_experiment(other))
+        # Copy the other spec's (valid) entry onto this spec's address.
+        src = cache.path(cache.key(other))
+        dst = self._entry_path(cache)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        with open(src) as fh:
+            doc = fh.read()
+        with open(dst, "w") as fh:
+            fh.write(doc)
+        assert cache.get(SPEC) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "sub" / "doc.json")
+        atomic_write_json(path, {"a": 1})
+        assert json.load(open(path)) == {"a": 1}
+        assert os.listdir(os.path.dirname(path)) == ["doc.json"]
+
+    def test_overwrite_replaces_whole_document(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": 1, "big": "x" * 4096})
+        atomic_write_json(path, {"b": 2})
+        assert json.load(open(path)) == {"b": 2}
+
+
+class TestFingerprint:
+    def test_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_tracks_source_content(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        before = code_fingerprint(str(pkg))
+        (pkg / "a.py").write_text("x = 2\n")
+        # memoized per directory: same process sees the cached value
+        assert code_fingerprint(str(pkg)) == before
+        from repro.runner import cache as cache_mod
+
+        cache_mod._fingerprint_cache.pop(str(pkg))
+        assert code_fingerprint(str(pkg)) != before
+
+    def test_environment_overrides_default_dir(self, monkeypatch, tmp_path):
+        from repro.runner.cache import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == str(tmp_path / "alt")

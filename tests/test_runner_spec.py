@@ -1,0 +1,165 @@
+"""ExperimentSpec and the experiment registry (runner/spec.py).
+
+The spec's canonical form is the identity the content-addressed cache
+and sweep checkpoints key on, so its stability properties (field
+coercion, extras normalization, hash determinism) are load-bearing.
+"""
+
+import pytest
+
+from repro.runner.result import run_experiment
+from repro.runner.spec import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
+
+
+class TestSpecValidation:
+    def test_shape_is_coerced_to_int_triple(self):
+        spec = ExperimentSpec("latency", shape=[2, 2, 2])
+        assert spec.shape == (2, 2, 2)
+        assert all(isinstance(v, int) for v in spec.shape)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("latency", shape=(0, 2, 2))
+        with pytest.raises(ValueError):
+            ExperimentSpec("latency", shape=(2, 2))
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("latency", rounds=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec("latency", payload=-1)
+        with pytest.raises(ValueError):
+            ExperimentSpec("latency", hops=-1)
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("")
+
+    def test_extras_sorted_and_duplicate_free(self):
+        spec = ExperimentSpec("allreduce", extras=(("b", 2), ("a", 1)))
+        assert spec.extras == (("a", 1), ("b", 2))
+        with pytest.raises(ValueError):
+            ExperimentSpec("allreduce", extras=(("a", 1), ("a", 2)))
+
+    def test_extras_must_be_json_scalars(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("allreduce", extras=(("a", [1, 2]),))
+
+    def test_with_extras_merges(self):
+        spec = ExperimentSpec("allreduce").with_extras(algorithm="butterfly")
+        assert spec.extra("algorithm") == "butterfly"
+        assert spec.extra("missing", 42) == 42
+        spec2 = spec.with_extras(algorithm="dimension_ordered")
+        assert spec2.extra("algorithm") == "dimension_ordered"
+
+
+class TestSpecIdentity:
+    def test_equal_specs_hash_equal_and_serialize_identically(self):
+        a = ExperimentSpec("latency", shape=(2, 2, 2), hops=1)
+        b = ExperimentSpec("latency", shape=[2, 2, 2], hops=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.canonical() == b.canonical()
+        assert a.spec_hash == b.spec_hash
+
+    def test_any_field_change_changes_the_hash(self):
+        base = ExperimentSpec("latency", shape=(2, 2, 2), hops=1)
+        variants = [
+            base.replace(rounds=3),
+            base.replace(payload=64),
+            base.replace(seed=7),
+            base.replace(hops=2),
+            base.replace(shape=(3, 3, 3)),
+            base.with_extras(foo=1),
+        ]
+        hashes = {v.spec_hash for v in variants} | {base.spec_hash}
+        assert len(hashes) == len(variants) + 1
+
+    def test_roundtrip_through_dict(self):
+        spec = ExperimentSpec(
+            "transfer", shape=(2, 2, 2), hops=2,
+            extras=(("messages", 8), ("total_bytes", 2048)),
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict({"experiment": "latency", "bogus": 1})
+
+    def test_derived_seed_is_stable_and_distinct(self):
+        a = ExperimentSpec("latency", seed=0)
+        b = ExperimentSpec("latency", seed=1)
+        assert a.derived_seed() == ExperimentSpec("latency").derived_seed()
+        assert a.derived_seed() != b.derived_seed()
+
+    def test_label_mentions_non_defaults(self):
+        spec = ExperimentSpec("latency", shape=(2, 2, 2), hops=1, seed=3)
+        label = spec.label()
+        assert "latency" in label and "hops=1" in label and "seed=3" in label
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = experiment_names()
+        assert {"latency", "fig5", "allreduce", "transfer",
+                "congestion", "mdstep"} <= set(names)
+
+    def test_filters_cover_traceable_and_monitorable(self):
+        assert "mdstep" not in experiment_names(traceable=True)
+        assert "mdstep" in experiment_names(monitorable=True)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("nope")
+
+    def test_get_experiment_accepts_spec_or_name(self):
+        by_name = get_experiment("latency")
+        by_spec = get_experiment(ExperimentSpec("latency"))
+        assert by_name is by_spec
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment("latency")(lambda spec: None)
+
+
+class TestRunExperiment:
+    def test_returns_unified_result(self):
+        spec = ExperimentSpec("latency", shape=(2, 2, 2), hops=1)
+        result = run_experiment(spec)
+        assert result.spec == spec
+        assert result.elapsed_ns > 0
+        assert result.value("one_way_1hop_ns") == result.elapsed_ns
+        assert isinstance(result.metrics, dict)
+
+    def test_runner_must_return_outcome(self):
+        register_experiment("_bad_outcome_test")(lambda spec: 42)
+        try:
+            with pytest.raises(TypeError, match="Outcome"):
+                run_experiment(ExperimentSpec("_bad_outcome_test"))
+        finally:
+            from repro.runner import spec as spec_mod
+
+            spec_mod._REGISTRY.pop("_bad_outcome_test")
+
+    def test_roundtrip_result_through_dict(self):
+        spec = ExperimentSpec("transfer", shape=(2, 2, 2))
+        result = run_experiment(spec)
+        clone = type(result).from_dict(result.to_dict())
+        assert clone.spec == spec
+        assert clone.elapsed_ns == result.elapsed_ns
+        assert clone.measurements == result.measurements
+
+    def test_measurement_validation(self):
+        from repro.runner.result import Measurement
+
+        with pytest.raises(ValueError):
+            Measurement("m", float("nan"))
+        with pytest.raises(ValueError):
+            Measurement("m", 1.0, better="sideways")
+        with pytest.raises(ValueError):
+            Measurement("", 1.0)

@@ -28,7 +28,7 @@ def congestion_capture():
 class TestChromeTrace:
     def test_valid_trace_event_json(self, congestion_capture):
         cap = congestion_capture
-        doc = json.loads(dumps_chrome_trace(cap.flight, metrics=cap.metrics))
+        doc = json.loads(dumps_chrome_trace(cap.flight, metrics=cap.registry))
         assert doc["displayTimeUnit"] == "ns"
         events = doc["traceEvents"]
         assert events, "trace must contain events"
@@ -78,7 +78,7 @@ class TestChromeTrace:
 
     def test_metrics_embedded_as_other_data(self, congestion_capture):
         cap = congestion_capture
-        doc = json.loads(dumps_chrome_trace(cap.flight, metrics=cap.metrics))
+        doc = json.loads(dumps_chrome_trace(cap.flight, metrics=cap.registry))
         metrics = doc["otherData"]["metrics"]
         assert metrics["net.packets_injected"]["value"] == len(cap.flight)
 
@@ -100,8 +100,8 @@ class TestDeterminism:
         global packet ids and counter tags; the export must not."""
         a = run_traced("congestion", shape=(2, 2, 2))
         b = run_traced("congestion", shape=(2, 2, 2))
-        assert dumps_chrome_trace(a.flight, metrics=a.metrics) == \
-            dumps_chrome_trace(b.flight, metrics=b.metrics)
+        assert dumps_chrome_trace(a.flight, metrics=a.registry) == \
+            dumps_chrome_trace(b.flight, metrics=b.registry)
         assert list(jsonl_lines(a.flight)) == list(jsonl_lines(b.flight))
 
     def test_latency_experiment_also_deterministic(self):
@@ -124,7 +124,7 @@ class TestJsonl:
 class TestSummary:
     def test_summary_tables(self, congestion_capture):
         cap = congestion_capture
-        text = flight_summary(cap.flight, cap.metrics)
+        text = flight_summary(cap.flight, cap.registry)
         assert "Packet flight summary" in text
         assert "Busiest links" in text
         assert "Metrics" in text
@@ -140,7 +140,7 @@ class TestCaptureHarness:
     def test_every_experiment_records_flights(self, experiment):
         cap = run_traced(experiment, shape=(2, 2, 2), rounds=1)
         assert len(cap.flight) > 0
-        assert cap.metrics.counter("net.packets_injected").value == \
+        assert cap.registry.counter("net.packets_injected").value == \
             len(cap.flight)
         assert cap.description
 
