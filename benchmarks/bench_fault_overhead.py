@@ -1,0 +1,84 @@
+"""Fault-injection overhead — injection must be free when disabled.
+
+Runs the Fig. 5 latency sweep three ways: bare (no fault subsystem in
+sight, the default), with an *empty* fault plan installed (the
+zero-perturbation contract: the network normalizes a disabled session
+away at construction, so the hot path pays one attribute load and one
+is-None test), and with a real bit-error plan (retransmissions on —
+results expected to differ).  Asserts the empty-plan run is identical
+to the bare run point for point, and reports the wall-clock cost of
+each mode so a regression in the disabled path (which every fault-free
+run pays) is visible.
+"""
+
+import time
+
+from conftest import once
+
+from repro.analysis import latency_vs_hops, render_table
+from repro.faults.plan import BitError, FaultPlan
+from repro.faults.session import FaultSession, use_faults
+
+
+def _timed_sweep(mode: str):
+    """One Fig. 5 sweep on a 4x4x4 machine; returns (seconds, points,
+    retransmissions)."""
+    shape = (4, 4, 4)
+    start = time.perf_counter()
+    if mode == "bare":
+        points = latency_vs_hops(shape=shape)
+        retrans = 0
+    else:
+        plan = FaultPlan() if mode == "empty_plan" else FaultPlan(
+            seed=1,
+            bit_errors=(BitError(links="*", ber=1e-4),),
+            max_retries=64,
+            backoff_max_ns=640.0,
+        )
+        session = FaultSession(plan)
+        with use_faults(session):
+            points = latency_vs_hops(shape=shape)
+        retrans = session.stats.retransmissions
+    return time.perf_counter() - start, points, retrans
+
+
+def _all_modes():
+    latency_vs_hops(shape=(4, 4, 4))  # warm-up: imports + allocator
+    return {mode: _timed_sweep(mode)
+            for mode in ("bare", "empty_plan", "ber_1e-4")}
+
+
+def bench_fault_overhead(benchmark, publish, record):
+    results = once(benchmark, _all_modes)
+    base_s, base_points, _ = results["bare"]
+    empty_s, empty_points, empty_retrans = results["empty_plan"]
+    # The zero-perturbation contract: an empty plan changes nothing.
+    assert [p.uni_0b for p in empty_points] == \
+        [p.uni_0b for p in base_points]
+    assert [p.uni_256b for p in empty_points] == \
+        [p.uni_256b for p in base_points]
+    assert empty_retrans == 0
+    # A real plan must actually inject (and therefore perturb).
+    faulty_s, faulty_points, faulty_retrans = results["ber_1e-4"]
+    assert faulty_retrans > 0
+    assert sum(p.uni_256b for p in faulty_points) > \
+        sum(p.uni_256b for p in base_points)
+
+    rows = [
+        [mode, f"{secs * 1e3:.1f}", f"{secs / base_s:.2f}x", retrans]
+        for mode, (secs, _, retrans) in results.items()
+    ]
+    publish("fault_overhead", render_table(
+        "Fault-injection overhead — Fig. 5 sweep (4x4x4), wall clock",
+        ["mode", "ms", "vs bare", "retransmissions"],
+        rows,
+    ))
+    # Wall-clock ratios are host-dependent (informational, not
+    # baseline-gated); the retransmission count is deterministic.
+    record("fault_overhead", "empty_plan_overhead_ratio",
+           empty_s / base_s, "x", shape=[4, 4, 4], mode="empty_plan")
+    record("fault_overhead", "ber_overhead_ratio",
+           faulty_s / base_s, "x", shape=[4, 4, 4], mode="ber_1e-4")
+    record("fault_overhead", "retransmissions",
+           float(faulty_retrans), "count", shape=[4, 4, 4], mode="ber_1e-4")
+    assert base_points[1].uni_0b == 162.0

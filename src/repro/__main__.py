@@ -123,6 +123,12 @@ def _sweep_exec_parent(default_cache: bool) -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="DIR",
                    help="resume a partially completed sweep from DIR "
                         "(implies --out DIR)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="kill any grid point running longer than SECONDS "
+                        "wall-clock and mark it failed (default: no limit)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry a failed grid point up to N times with "
+                        "exponential backoff (default 0 = no retries)")
     return p
 
 
@@ -200,6 +206,8 @@ def _run_sweep_cmd(args, registry) -> int:
         registry=registry,
         run_registry=registry,
         progress=progress,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     wall = time.perf_counter() - t0
     print()
@@ -245,6 +253,8 @@ def _run_latency(args, registry) -> int:
         resume=args.resume is not None,
         registry=registry,
         run_registry=registry,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     if not report.ok:
         for p in report.failures:
@@ -290,6 +300,8 @@ def _run_allreduce(args, registry) -> int:
         resume=args.resume is not None,
         registry=registry,
         run_registry=registry,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     if not report.ok:
         for p in report.failures:
@@ -346,10 +358,25 @@ def _run_attribute(args: argparse.Namespace) -> int:
     )
     from repro.topology.torus import Torus3D
 
+    stack = ExitStack()
+    if args.ber > 0.0:
+        from repro.faults.plan import BitError, FaultPlan
+        from repro.faults.session import use_fault_plan
+
+        stack.enter_context(use_fault_plan(FaultPlan(
+            seed=args.seed,
+            bit_errors=(BitError(links="*", ber=args.ber),),
+            max_retries=64,
+            backoff_max_ns=640.0,
+        )))
+        print(f"fault injection: uniform ber={args.ber:g} on every link")
+        print()
+
     if args.experiment == "latency":
-        m = measure_attribution(
-            hops=args.hops, shape=args.shape, payload_bytes=args.payload
-        )
+        with stack:
+            m = measure_attribution(
+                hops=args.hops, shape=args.shape, payload_bytes=args.payload
+            )
         print(
             f"single counted remote write, {m.hops} hop(s) to "
             f"{m.destination} on {m.shape}, {m.payload_bytes} B payload"
@@ -365,10 +392,11 @@ def _run_attribute(args: argparse.Namespace) -> int:
     from repro.trace.capture import run_traced
     from repro.analysis.critical_path import branch_hops
 
-    cap = run_traced(
-        args.experiment, shape=args.shape, rounds=args.rounds,
-        payload=args.payload, seed=args.seed,
-    )
+    with stack:
+        cap = run_traced(
+            args.experiment, shape=args.shape, rounds=args.rounds,
+            payload=args.payload, seed=args.seed,
+        )
     torus = Torus3D(*cap.shape)
     print(f"captured {args.experiment}: {cap.description}")
     print()
@@ -550,6 +578,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="network hops for the latency experiment")
     p_at.add_argument("--top", type=int, default=10,
                       help="link hotspots to show (default 10)")
+    p_at.add_argument("--ber", type=float, default=0.0,
+                      help="inject a uniform link bit-error rate and "
+                           "attribute the retry time (default 0 = off)")
 
     from repro.bench.suite import SUITE_BENCHMARKS
 

@@ -56,6 +56,7 @@ class Component(Enum):
     SOFTWARE_SEND = "software send (packet assembly in slice)"
     SRC_RING = "on-chip router hops (source)"
     QUEUE_WAIT = "head-of-line queue wait"
+    RETRY = "link-level retransmission (CRC retry)"
     LINK_ADAPTER = "link adapters (incl. X wire)"
     WIRE = "extra wire delay (Y/Z dims)"
     SERIALIZATION = "payload serialization beyond header"
@@ -139,6 +140,14 @@ def _hop_components(
     """
     parts: list[tuple[Component, float, str]] = []
     measured = segment_end_ns - hop.grant_ns
+    if hop.retry_ns > 0.0:
+        # Fault injection: the link-level protocol spent this long on
+        # failed attempts (serialization + CRC detect + NAK + backoff)
+        # before the transmission that went through.
+        parts.append(
+            (Component.RETRY, hop.retry_ns,
+             f"{hop.retries} retransmission(s) on {hop.link}")
+        )
     parts.append(
         (Component.LINK_ADAPTER, 2 * LINK_ADAPTER_NS, f"{hop.link} pair")
     )

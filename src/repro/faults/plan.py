@@ -1,0 +1,309 @@
+"""Declarative, serializable fault schedules.
+
+A :class:`FaultPlan` describes *what* goes wrong on the fabric and
+*when*, without referencing any runtime object: link selectors are
+strings, times are simulated nanoseconds, randomness is pinned by a
+plan seed plus per-fault derived seeds.  Two runs that share a plan
+(and a workload seed) observe exactly the same corruptions, in the
+same order, on the same links — which is what makes fault sweeps
+resumable and cacheable through the PR-4 runner.
+
+Link selectors
+--------------
+``"*"``        every torus link
+``"x"``        every link in dimension ``x`` (likewise ``y``/``z``)
+``"x+"``       only positive-going ``x`` links (likewise ``x-`` …)
+
+Selectors deliberately stop at (dimension, sign) granularity: the
+studies in this repo stress classes of links, and coarse selectors
+keep plans shape-independent so one plan serves a whole sweep grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Optional, Sequence, Tuple
+
+_SEED_DOMAIN = b"repro-fault-seed\x00"
+
+#: Calibrated reliability-protocol timings (simulated ns).  Detection
+#: is modelled on a CRC check completing as the tail flit arrives plus
+#: one reverse wire hop for the NAK; the backoff base is one link
+#: adapter traversal.  These defaults live on the plan (not hardcoded
+#: in the session) so studies can explore the protocol envelope.
+DEFAULT_DETECT_NS = 10.0
+DEFAULT_NAK_NS = 10.0
+DEFAULT_BACKOFF_BASE_NS = 20.0
+DEFAULT_MAX_RETRIES = 8
+
+_DIMS = ("x", "y", "z")
+_SIGNS = ("+", "-")
+
+
+def _check_selector(links: str) -> None:
+    if links == "*":
+        return
+    if links in _DIMS:
+        return
+    if len(links) == 2 and links[0] in _DIMS and links[1] in _SIGNS:
+        return
+    raise ValueError(
+        f"bad link selector {links!r}: expected '*', a dimension "
+        f"('x'|'y'|'z'), or a signed dimension ('x+', 'z-', ...)"
+    )
+
+
+def selector_matches(links: str, dim: str, sign: int) -> bool:
+    """Does selector ``links`` cover a link in ``dim`` going ``sign``?"""
+    if links == "*":
+        return True
+    if links == dim:
+        return True
+    return len(links) == 2 and links[0] == dim and \
+        links[1] == ("+" if sign > 0 else "-")
+
+
+def _check_window(start_ns: float, end_ns: float) -> None:
+    if not (0.0 <= start_ns < end_ns):
+        raise ValueError(
+            f"bad fault window [{start_ns}, {end_ns}): need 0 <= start < end"
+        )
+
+
+@dataclass(frozen=True)
+class BitError:
+    """Random bit corruption on matching links.
+
+    ``ber`` is the per-wire-bit error probability; a packet of ``n``
+    wire bits is corrupted (CRC check fails, triggering a
+    retransmission) with probability ``1 - (1 - ber)**n``.  For unit
+    tests that need exact, seed-independent behaviour,
+    ``corrupt_attempts`` deterministically corrupts the first *k*
+    transmission attempts of every matching traversal instead.
+    """
+
+    links: str = "*"
+    ber: float = 0.0
+    corrupt_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        _check_selector(self.links)
+        if not (0.0 <= self.ber < 1.0):
+            raise ValueError(f"ber must be in [0, 1), got {self.ber}")
+        if self.corrupt_attempts < 0:
+            raise ValueError("corrupt_attempts must be >= 0")
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Transient link degradation over a time window.
+
+    ``bandwidth_factor`` stretches channel occupancy (serialization
+    time), ``latency_factor`` stretches the per-hop link cost; both
+    must be >= 1 (a fault never speeds a link up).
+    """
+
+    links: str = "*"
+    start_ns: float = 0.0
+    end_ns: float = math.inf
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_selector(self.links)
+        _check_window(self.start_ns, self.end_ns)
+        if self.bandwidth_factor < 1.0 or self.latency_factor < 1.0:
+            raise ValueError("degradation factors must be >= 1.0")
+
+    def active(self, now: float) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Hard outage: matching links accept no new packets in the window.
+
+    Traffic queued for a downed link waits (the transit re-arms itself
+    for ``end_ns``) rather than being dropped — matching real link
+    retraining, where the send buffer stalls until the link comes back.
+    """
+
+    links: str = "*"
+    start_ns: float = 0.0
+    end_ns: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_selector(self.links)
+        _check_window(self.start_ns, self.end_ns)
+
+    def active(self, now: float) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """A node pauses packet forwarding/injection for a time window."""
+
+    node: Tuple[int, int, int] = (0, 0, 0)
+    start_ns: float = 0.0
+    end_ns: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ns, self.end_ns)
+        object.__setattr__(self, "node", tuple(self.node))
+
+    def active(self, now: float) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+
+_FAULT_KINDS = {
+    "bit_error": BitError,
+    "degradation": Degradation,
+    "link_down": LinkDown,
+    "node_stall": NodeStall,
+}
+
+
+def _encode_fault(obj) -> dict:
+    doc = {"kind": next(k for k, cls in _FAULT_KINDS.items()
+                        if isinstance(obj, cls))}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif value == math.inf:
+            value = "inf"
+        doc[f.name] = value
+    return doc
+
+
+def _decode_fault(doc: dict):
+    doc = dict(doc)
+    cls = _FAULT_KINDS[doc.pop("kind")]
+    for key, value in doc.items():
+        if value == "inf":
+            doc[key] = math.inf
+        elif isinstance(value, list):
+            doc[key] = tuple(value)
+    return cls(**doc)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault schedule for one run.
+
+    The empty plan (no fault entries) is inert: the network never
+    consults a disabled session on its hot path, so an empty plan is
+    byte-identical to no plan at all.
+    """
+
+    seed: int = 0
+    max_retries: int = DEFAULT_MAX_RETRIES
+    detect_ns: float = DEFAULT_DETECT_NS
+    nak_ns: float = DEFAULT_NAK_NS
+    backoff_base_ns: float = DEFAULT_BACKOFF_BASE_NS
+    #: Cap on the exponential backoff (``None`` = uncapped).  Studies
+    #: that sweep into high-BER regimes set this so a long retry train
+    #: costs linearly, as real truncated-binary-exponential senders do.
+    backoff_max_ns: Optional[float] = None
+    on_exhaust: str = "error"  # "error" | "drop"
+    bit_errors: Tuple[BitError, ...] = ()
+    degradations: Tuple[Degradation, ...] = ()
+    link_downs: Tuple[LinkDown, ...] = ()
+    node_stalls: Tuple[NodeStall, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.on_exhaust not in ("error", "drop"):
+            raise ValueError(
+                f"on_exhaust must be 'error' or 'drop', got {self.on_exhaust!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        object.__setattr__(self, "bit_errors", tuple(self.bit_errors))
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+        object.__setattr__(self, "link_downs", tuple(self.link_downs))
+        object.__setattr__(self, "node_stalls", tuple(self.node_stalls))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when the plan contains any fault at all."""
+        return bool(self.bit_errors or self.degradations or
+                    self.link_downs or self.node_stalls)
+
+    def faults(self) -> Iterable:
+        yield from self.bit_errors
+        yield from self.degradations
+        yield from self.link_downs
+        yield from self.node_stalls
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-fault-plan/1",
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "detect_ns": self.detect_ns,
+            "nak_ns": self.nak_ns,
+            "backoff_base_ns": self.backoff_base_ns,
+            "backoff_max_ns": self.backoff_max_ns,
+            "on_exhaust": self.on_exhaust,
+            "faults": [_encode_fault(f) for f in self.faults()],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        if doc.get("schema") != "repro-fault-plan/1":
+            raise ValueError(f"not a fault plan: schema={doc.get('schema')!r}")
+        buckets = {"bit_error": [], "degradation": [],
+                   "link_down": [], "node_stall": []}
+        for raw in doc.get("faults", []):
+            buckets[raw["kind"]].append(_decode_fault(raw))
+        return cls(
+            seed=doc.get("seed", 0),
+            max_retries=doc.get("max_retries", DEFAULT_MAX_RETRIES),
+            detect_ns=doc.get("detect_ns", DEFAULT_DETECT_NS),
+            nak_ns=doc.get("nak_ns", DEFAULT_NAK_NS),
+            backoff_base_ns=doc.get("backoff_base_ns",
+                                    DEFAULT_BACKOFF_BASE_NS),
+            backoff_max_ns=doc.get("backoff_max_ns"),
+            on_exhaust=doc.get("on_exhaust", "error"),
+            bit_errors=tuple(buckets["bit_error"]),
+            degradations=tuple(buckets["degradation"]),
+            link_downs=tuple(buckets["link_down"]),
+            node_stalls=tuple(buckets["node_stall"]),
+        )
+
+    def canonical(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def plan_hash(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()[:16]
+
+    def derived_seed(self, *scope: object) -> int:
+        """A stable 63-bit seed for one fault scope (e.g. a link key).
+
+        Every consumer of randomness under this plan draws from its own
+        derived stream, so adding a fault (or a link) never shifts the
+        random numbers any *other* fault observes.
+        """
+        h = hashlib.sha256(_SEED_DOMAIN + self.canonical().encode())
+        for part in scope:
+            h.update(b"\x00" + repr(part).encode())
+        return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+def single_link_fault_plan(ber: float, *, links: str = "*", seed: int = 0,
+                           max_retries: int = DEFAULT_MAX_RETRIES,
+                           on_exhaust: str = "error") -> FaultPlan:
+    """Convenience: a plan with one uniform bit-error-rate fault."""
+    return FaultPlan(seed=seed, max_retries=max_retries,
+                     on_exhaust=on_exhaust,
+                     bit_errors=(BitError(links=links, ber=ber),))

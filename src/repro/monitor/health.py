@@ -132,6 +132,7 @@ class HealthMonitor:
         wd = self.watchdogs
         wd.check_packet_conservation(now)
         wd.check_stall(now)
+        wd.check_faults(now)
         if (self.sampler.ticks - 1) % self.sampler.slow_every == 0:
             wd.check_sync_counters(now)
             wd.check_fifo_bounds(now)
@@ -160,6 +161,7 @@ class HealthMonitor:
             wd.check_sync_counters(now, final=True)
             wd.check_fifo_bounds(now, final=True)
             wd.check_stall(now, final=True)
+            wd.check_faults(now, final=True)
             self.sim.set_monitor_hook(self._prev_hook)
         return self.verdict()
 

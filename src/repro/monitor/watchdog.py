@@ -200,12 +200,18 @@ class InvariantWatchdogs:
         self.log = log
         self.stall_ns = stall_ns
         self._worst: dict[str, CheckResult] = {}
-        for name in (
+        names = [
             "packet_conservation",
             "sync_counter_consistency",
             "fifo_depth_bounds",
             "stall_detector",
-        ):
+        ]
+        # The fault invariants exist only when a fault session is
+        # attached, so fault-free verdicts keep their historical four
+        # checks byte for byte.
+        if getattr(self.network, "faults", None) is not None:
+            names += ["fault_packet_loss", "fault_retry_bounds"]
+        for name in names:
             self._worst[name] = CheckResult(name, "ok", "")
         # Stall-detector state.
         self._progress_marker: tuple[int, int, int] = (0, 0, 0)
@@ -264,6 +270,10 @@ class InvariantWatchdogs:
                 expected=net.deliveries_expected,
             )
         if final:
+            # Packets the fault session dropped (loudly) count as
+            # completed and their owed deliveries as lost; both are 0
+            # without fault injection, keeping the arithmetic intact.
+            lost = getattr(net, "deliveries_lost", 0)
             if in_flight != 0:
                 self._report(
                     now, "packet_conservation", "error",
@@ -271,12 +281,14 @@ class InvariantWatchdogs:
                     "of the run (lost or deadlocked)",
                     in_flight=in_flight,
                 )
-            elif net.packets_delivered != net.deliveries_expected:
+            elif net.packets_delivered + lost != net.deliveries_expected:
                 self._report(
                     now, "packet_conservation", "error",
-                    f"run ended with {net.packets_delivered} deliveries, "
+                    f"run ended with {net.packets_delivered} deliveries "
+                    f"(+{lost} accounted lost), "
                     f"expected {net.deliveries_expected}",
                     delivered=net.packets_delivered,
+                    lost=lost,
                     expected=net.deliveries_expected,
                 )
 
@@ -389,3 +401,56 @@ class InvariantWatchdogs:
                 in_flight=in_flight,
                 stalled_ns=stalled_for,
             )
+
+    def check_faults(self, now: float, final: bool = False) -> None:
+        """Fault-injection invariants: no packet silently lost, retries
+        bounded.  A no-op (and absent from the verdict) without an
+        attached fault session.
+        """
+        fa = getattr(self.network, "faults", None)
+        if fa is None:
+            return
+        net = self.network
+        st = fa.stats
+        net_lost = getattr(net, "packets_lost", 0)
+        if st.packets_lost != net_lost:
+            self._report(
+                now, "fault_packet_loss", "error",
+                f"loss accounting mismatch: session counted "
+                f"{st.packets_lost} dropped packet(s), network counted "
+                f"{net_lost} (a packet was lost silently)",
+                session_lost=st.packets_lost,
+                network_lost=net_lost,
+            )
+        elif st.packets_lost:
+            self._report(
+                now, "fault_packet_loss", "error",
+                f"{st.packets_lost} packet(s) dropped after retry "
+                f"exhaustion ({st.deliveries_lost} owed deliveries "
+                "lost; detected and accounted, never silent)",
+                packets_lost=st.packets_lost,
+                deliveries_lost=st.deliveries_lost,
+            )
+        if st.max_retries_seen > fa.plan.max_retries:
+            self._report(
+                now, "fault_retry_bounds", "error",
+                f"a traversal recorded {st.max_retries_seen} "
+                f"retransmissions, above the protocol bound of "
+                f"{fa.plan.max_retries}",
+                max_seen=st.max_retries_seen,
+                bound=fa.plan.max_retries,
+            )
+        if final:
+            # Leave human-readable totals on checks that stayed ok.
+            if self._worst["fault_packet_loss"].ok:
+                self._worst["fault_packet_loss"] = CheckResult(
+                    "fault_packet_loss", "ok",
+                    f"0 lost ({st.retransmissions} retransmission(s) "
+                    "recovered every corruption)",
+                )
+            if self._worst["fault_retry_bounds"].ok:
+                self._worst["fault_retry_bounds"] = CheckResult(
+                    "fault_retry_bounds", "ok",
+                    f"worst traversal used {st.max_retries_seen} of "
+                    f"{fa.plan.max_retries} allowed retransmissions",
+                )

@@ -49,6 +49,9 @@ class TorusLink:
         self.channel = Resource(sim, capacity=1, name=repr(link_id))
         self.packets_carried = 0
         self.bytes_carried = 0
+        #: Link-level retransmissions charged to this direction by the
+        #: fault-injection session (always 0 on a fault-free run).
+        self.retransmissions = 0
 
     def record(self, wire_bytes: int) -> None:
         """Account one packet's traffic on this link direction."""

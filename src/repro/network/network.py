@@ -48,6 +48,7 @@ from repro.constants import (
 )
 from repro.engine.event import Event
 from repro.engine.simulator import Simulator
+from repro.faults.session import FaultSession, active_faults
 from repro.network.link import LinkId, TorusLink
 from repro.network.multicast import MulticastPattern
 from repro.network.packet import Packet
@@ -94,10 +95,18 @@ class Network:
         reorder_jitter_ns: float = 0.0,
         seed: int = 0,
         flight: "FlightRecorder | NullFlightRecorder | None" = None,
+        faults: "FaultSession | None" = None,
     ) -> None:
         self.sim = sim
         self.torus = torus
         self.flight = flight if flight is not None else active_flight()
+        #: Fault-injection session (see :mod:`repro.faults`); defaults
+        #: to the ambient session, which is ``None`` — and a disabled
+        #: session is never consulted — so fault-free runs take the
+        #: exact historical code path.
+        self.faults = faults if faults is not None else active_faults()
+        if self.faults is not None and not self.faults.enabled:
+            self.faults = None
         self.reorder_jitter_ns = reorder_jitter_ns
         self._rng = random.Random(seed)
         self._links: dict[tuple, TorusLink] = {}
@@ -116,8 +125,17 @@ class Network:
         self.packets_completed = 0
         #: Client deliveries owed by every injected packet (1 per
         #: unicast, one per reached client for multicast); at
-        #: quiescence this must equal ``packets_delivered`` exactly.
+        #: quiescence this must equal ``packets_delivered`` plus
+        #: ``deliveries_lost`` exactly.
         self.deliveries_expected = 0
+        #: Packets dropped by the fault session's ``on_exhaust="drop"``
+        #: escalation (a dropped packet still counts as *completed* so
+        #: the in-flight conservation invariant closes); always 0
+        #: without fault injection.
+        self.packets_lost = 0
+        #: Client deliveries those dropped packets owed (> 1 per packet
+        #: for multicast subtrees cut off by the drop).
+        self.deliveries_lost = 0
 
     @property
     def packets_in_flight(self) -> int:
@@ -277,6 +295,16 @@ class _UcastTransit:
             net.sim.schedule(delay, self._arrive)
             return
         hop = self.route[self.idx]
+        fa = net.faults
+        if fa is not None:
+            until = fa.transit_blocked_until(
+                self.cur, hop.dim, hop.sign, net.sim.now
+            )
+            if until > net.sim.now:
+                # Link down or node stalled: re-arm at the window's end
+                # (re-checked there — windows may be back to back).
+                net.sim.schedule(until - net.sim.now, self._next_hop)
+                return
         link = net.link(self.cur, hop.dim, hop.sign)
         if link.channel.try_acquire():
             self._granted(link, hop)
@@ -295,16 +323,49 @@ class _UcastTransit:
         fl = net.flight
         if fl.enabled:
             fl.hop_granted(packet, link, net.sim.now)
-        net.sim.schedule(packet.serialization_ns, link.channel.release)
+        fa = net.faults
+        if fa is None:
+            net.sim.schedule(packet.serialization_ns, link.channel.release)
+            fault_extra = 0.0
+        else:
+            out = fa.transmit(packet, link, hop.dim, hop.sign, net.sim.now)
+            net.sim.schedule(out.hold_ns, link.channel.release)
+            if out.retries and fl.enabled:
+                fl.hop_fault(packet, link, out.hold_ns, out.retry_ns,
+                             out.retries)
+            if out.lost:
+                self._lost()
+                return
+            fault_extra = out.extra_ns
         latency = LINK_COST_NS[hop.dim]
         if self.idx == 0:
             latency += self.payload_extra
         else:
             latency += THROUGH_RING_NS[hop.dim]
+        latency += fault_extra
         latency += net._jitter(packet)
         self.cur = net.torus.neighbor(self.cur, hop.dim, hop.sign)
         self.idx += 1
         net.sim.schedule(latency, self._next_hop)
+
+    def _lost(self) -> None:
+        """Drop escalation: account the loss loudly and complete the
+        packet so the in-flight conservation invariant still closes."""
+        net = self.net
+        net.packets_lost += 1
+        net.deliveries_lost += 1
+        net.packets_completed += 1
+        net.faults.record_lost(self.packet, 1)
+        # The in-order chain must not observe the drop out of order: our
+        # gate opens only once every predecessor's gate has opened.
+        mine = self.order_mine
+        if mine is not None and not mine.triggered:
+            prev = self.order_prev
+            if prev is not None and not prev.triggered:
+                prev.add_callback(lambda _ev: mine.succeed(net.sim.now))
+            else:
+                mine.succeed(net.sim.now)
+        self.done.succeed(net.sim.now)
 
     def _arrive(self) -> None:
         if self.order_prev is not None and not self.order_prev.triggered:
@@ -354,6 +415,15 @@ class _McastTransit:
 
     def _visit(self, node: NodeCoord, first_link: bool) -> None:
         net = self.net
+        fa = net.faults
+        if fa is not None:
+            until = fa.stall_until(node, net.sim.now)
+            if until > net.sim.now:
+                # Stalled node: the whole visit (local deliveries and
+                # forwarding) waits out the window.
+                net.sim.schedule(until - net.sim.now, self._visit,
+                                 node, first_link)
+                return
         entry = self.pattern.entries[node]
         packet = self.packet
         if packet.in_order:
@@ -368,18 +438,30 @@ class _McastTransit:
                 delay = DST_RING_NS if node != packet.src_node else 0.0
                 net.sim.schedule(delay, self._finish_local, node, client_name, None)
         for dim, sign in entry.forward:
-            link = net.link(node, dim, sign)
-            if link.channel.try_acquire():
-                self._granted(node, dim, sign, link, first_link)
-            else:
-                fl = net.flight
-                if fl.enabled:
-                    fl.hop_enqueued(packet, link, net.sim.now)
-                req = link.channel.request()
-                req.add_callback(
-                    lambda _ev, node=node, dim=dim, sign=sign, link=link,
-                    first=first_link: self._granted(node, dim, sign, link, first)
-                )
+            self._forward(node, dim, sign, first_link)
+
+    def _forward(self, node: NodeCoord, dim: str, sign: int,
+                 first_link: bool) -> None:
+        net = self.net
+        fa = net.faults
+        if fa is not None:
+            until = fa.down_until(dim, sign, net.sim.now)
+            if until > net.sim.now:
+                net.sim.schedule(until - net.sim.now, self._forward,
+                                 node, dim, sign, first_link)
+                return
+        link = net.link(node, dim, sign)
+        if link.channel.try_acquire():
+            self._granted(node, dim, sign, link, first_link)
+        else:
+            fl = net.flight
+            if fl.enabled:
+                fl.hop_enqueued(self.packet, link, net.sim.now)
+            req = link.channel.request()
+            req.add_callback(
+                lambda _ev, node=node, dim=dim, sign=sign, link=link,
+                first=first_link: self._granted(node, dim, sign, link, first)
+            )
 
     def _deliver_local(
         self,
@@ -417,12 +499,47 @@ class _McastTransit:
         fl = net.flight
         if fl.enabled:
             fl.hop_granted(packet, link, net.sim.now)
-        net.sim.schedule(packet.serialization_ns, link.channel.release)
+        nxt = net.torus.neighbor(node, dim, sign)
+        fa = net.faults
+        if fa is None:
+            net.sim.schedule(packet.serialization_ns, link.channel.release)
+            fault_extra = 0.0
+        else:
+            out = fa.transmit(packet, link, dim, sign, net.sim.now)
+            net.sim.schedule(out.hold_ns, link.channel.release)
+            if out.retries and fl.enabled:
+                fl.hop_fault(packet, link, out.hold_ns, out.retry_ns,
+                             out.retries)
+            if out.lost:
+                self._lost_branch(nxt)
+                return
+            fault_extra = out.extra_ns
         latency = LINK_COST_NS[dim] + MULTICAST_LOOKUP_NS
         if first_link:
             latency += self.payload_extra
         else:
             latency += THROUGH_RING_NS[dim]
+        latency += fault_extra
         latency += net._jitter(packet)
-        nxt = net.torus.neighbor(node, dim, sign)
         net.sim.schedule(latency, self._visit, nxt, False)
+
+    def _lost_branch(self, root: NodeCoord) -> None:
+        """Drop escalation on one multicast branch: every delivery in
+        the unreached subtree is accounted as lost; the packet still
+        completes once every other branch lands."""
+        net = self.net
+        lost = 0
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            entry = self.pattern.entries[node]
+            lost += len(entry.local_clients)
+            for dim, sign in entry.forward:
+                frontier.append(net.torus.neighbor(node, dim, sign))
+        net.packets_lost += 1
+        net.deliveries_lost += lost
+        net.faults.record_lost(self.packet, lost)
+        self.outstanding -= lost
+        if self.outstanding == 0:
+            net.packets_completed += 1
+            self.done.succeed(net.sim.now)

@@ -213,6 +213,64 @@ def _congestion(spec: ExperimentSpec) -> Outcome:
 
 
 @register_experiment(
+    "fault_sensitivity",
+    help="incast latency under a uniform link bit-error rate (sweep ber=)",
+)
+def _fault_sensitivity(spec: ExperimentSpec) -> Outcome:
+    from repro.faults.study import run_fault_sensitivity
+
+    return run_fault_sensitivity(spec)
+
+
+@register_experiment(
+    "link_degradation",
+    help="incast latency with a degraded or downed link class",
+)
+def _link_degradation(spec: ExperimentSpec) -> Outcome:
+    from repro.faults.study import run_link_degradation
+
+    return run_link_degradation(spec)
+
+
+@register_experiment(
+    "selftest",
+    help="harness self-test point (behavior=ok|crash|hang|flaky)",
+    traceable=False,
+    monitorable=False,
+)
+def _selftest(spec: ExperimentSpec) -> Outcome:
+    """A non-simulating point for exercising the sweep harness itself:
+    ``crash`` raises, ``hang`` sleeps wall-clock (to be killed by
+    ``--timeout``), ``flaky`` fails until a marker file exists (so
+    ``--retries`` can be shown recovering a transient failure)."""
+    import os
+    import time
+
+    behavior = str(spec.extra("behavior", "ok"))
+    if behavior == "ok":
+        pass
+    elif behavior == "crash":
+        raise RuntimeError("selftest: deliberate crash")
+    elif behavior == "hang":
+        time.sleep(float(spec.extra("sleep_s", 60.0)))
+    elif behavior == "flaky":
+        marker = str(spec.extra("marker", ""))
+        if not marker:
+            raise ValueError("selftest: behavior=flaky needs a marker path")
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("attempted\n")
+            raise RuntimeError("selftest: deliberate first-attempt failure")
+    else:
+        raise ValueError(f"selftest: unknown behavior {behavior!r}")
+    return Outcome(
+        description=f"selftest behavior={behavior}",
+        elapsed_ns=1.0,
+        measurements=(Measurement("selftest_ns", 1.0),),
+    )
+
+
+@register_experiment(
     "mdstep",
     help="Fig. 13 MD step pair (range-limited + long-range)",
     traceable=False,  # per-packet flight record would dwarf the run

@@ -19,7 +19,13 @@ simulation.  :func:`run_sweep` executes such a grid:
 * **Resumable checkpointing** — with an output directory, every
   completed point is written atomically under ``points/`` next to a
   sweep manifest; ``resume=True`` picks up where a previous partial
-  sweep stopped.
+  sweep stopped.  A truncated or corrupt checkpoint is warned about
+  (``repro.sweep`` logger, ``sweep.checkpoint_corrupt`` counter) and
+  recomputed — it never crashes the resume.
+* **Hardened execution** — optional per-point wall-clock timeouts
+  (``timeout_s``) that kill hung workers, and bounded retry with
+  exponential backoff (``retries``/``retry_backoff_s``), via one
+  killable subprocess per point.
 * **Progress and failure reporting** — per-point counters land in the
   metrics registry (``sweep.*``) and the final judgement is an
   ordinary :class:`~repro.monitor.watchdog.HealthVerdict`, so sweep
@@ -31,6 +37,8 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import logging
+import math
 import os
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence
@@ -44,6 +52,8 @@ from repro.trace.metrics import MetricsRegistry, active_registry
 
 #: Manifest schema for sweep checkpoints; bump on layout changes.
 SWEEP_SCHEMA = "repro-sweep/1"
+
+_LOG = logging.getLogger("repro.sweep")
 
 #: Spec fields a grid axis may target directly; anything else becomes
 #: an experiment-specific extra.
@@ -273,6 +283,125 @@ def _execute_spec(doc: dict) -> dict:
     return run_experiment(spec).to_dict()
 
 
+def _point_entry(doc: dict, conn) -> None:
+    """Guarded-worker entry: run one spec, ship the outcome over the
+    pipe.  Catches ``BaseException`` so even a ``SystemExit`` inside an
+    experiment reports instead of silently dying."""
+    try:
+        payload = _execute_spec(doc)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — reported over the pipe
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _run_guarded(
+    pending: "list[SweepPoint]",
+    *,
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+    settle: Callable[["SweepPoint"], None],
+    on_retry: Callable[["SweepPoint", int], None],
+) -> None:
+    """Run ``pending`` with one killable subprocess per point.
+
+    A ``ProcessPoolExecutor`` cannot abandon a hung worker (its future
+    has no kill switch), so hardened sweeps spawn a dedicated
+    ``multiprocessing.Process`` per point and poll a result pipe
+    against a wall-clock deadline: a point that exceeds ``timeout_s``
+    is terminated and marked failed, and a failed point re-queues up to
+    ``retries`` times with exponential backoff before it settles.
+    """
+    import multiprocessing as mp
+    import time
+
+    jobs = max(1, jobs)
+    # (point, attempt, earliest wall-clock start)
+    waiting: list[tuple[SweepPoint, int, float]] = [
+        (p, 0, 0.0) for p in pending
+    ]
+    running: list[list] = []  # [point, attempt, process, conn, deadline]
+    while waiting or running:
+        now = time.monotonic()
+        while len(running) < jobs:
+            idx = next(
+                (i for i, (_, _, t0) in enumerate(waiting) if t0 <= now),
+                None,
+            )
+            if idx is None:
+                break
+            point, attempt, _ = waiting.pop(idx)
+            parent, child = mp.Pipe(duplex=False)
+            proc = mp.Process(
+                target=_point_entry,
+                args=(point.spec.to_dict(), child),
+                daemon=True,
+            )
+            proc.start()
+            child.close()  # parent keeps only the read end
+            deadline = math.inf if timeout_s is None else now + timeout_s
+            running.append([point, attempt, proc, parent, deadline])
+
+        progressed = False
+        still: list[list] = []
+        for entry in running:
+            point, attempt, proc, conn, deadline = entry
+            outcome = None
+            if conn.poll(0):
+                try:
+                    outcome = conn.recv()
+                except EOFError:
+                    outcome = ("error", "worker died without reporting")
+            elif not proc.is_alive():
+                outcome = (
+                    "error",
+                    f"worker exited with code {proc.exitcode} "
+                    "before reporting",
+                )
+            elif time.monotonic() >= deadline:
+                proc.terminate()
+                proc.join(1.0)
+                if proc.is_alive():  # pragma: no cover — SIGTERM ignored
+                    proc.kill()
+                outcome = (
+                    "error",
+                    f"killed: exceeded per-point timeout of {timeout_s:g}s",
+                )
+            if outcome is None:
+                still.append(entry)
+                continue
+            progressed = True
+            proc.join()
+            conn.close()
+            kind, payload = outcome
+            if kind == "ok":
+                try:
+                    point.result = RunResult.from_dict(payload)
+                    point.error = None
+                except Exception as exc:  # noqa: BLE001
+                    point.error = f"{type(exc).__name__}: {exc}"
+            else:
+                point.error = payload
+            if point.error is not None and attempt < retries:
+                backoff = retry_backoff_s * (2.0 ** attempt)
+                _LOG.warning(
+                    "sweep point #%d failed (%s); retry %d/%d in %.2fs",
+                    point.index, point.error, attempt + 1, retries, backoff,
+                )
+                on_retry(point, attempt + 1)
+                waiting.append(
+                    (point, attempt + 1, time.monotonic() + backoff)
+                )
+            else:
+                settle(point)
+        running = still
+        if not progressed:
+            time.sleep(0.02)
+
+
 def _point_path(out_dir: str, index: int) -> str:
     return os.path.join(out_dir, "points", f"{index:04d}.json")
 
@@ -293,32 +422,46 @@ def _write_point(out_dir: str, point: SweepPoint) -> None:
     )
 
 
-def _load_point(out_dir: str, index: int, spec: ExperimentSpec) -> Optional[RunResult]:
-    """A previously checkpointed point, or ``None`` if absent or
-    invalid (same trust model as the cache: verify, never assume)."""
+def _load_point(
+    out_dir: str, index: int, spec: ExperimentSpec
+) -> tuple[Optional[RunResult], Optional[str]]:
+    """A previously checkpointed point as ``(result, problem)``.
+
+    ``(result, None)`` is a verified checkpoint; ``(None, None)`` means
+    the point was simply never checkpointed; ``(None, reason)`` means a
+    file *was* there but could not be trusted — truncated, corrupt, or
+    for a different spec.  The caller warns and recomputes; a damaged
+    checkpoint directory must never crash a resume (same trust model as
+    the cache: verify, never assume)."""
     path = _point_path(out_dir, index)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
-    except (OSError, ValueError):
-        return None
+    except FileNotFoundError:
+        return None, None
+    except OSError as exc:
+        return None, f"unreadable checkpoint: {exc}"
+    except ValueError:
+        return None, "corrupt checkpoint (not valid JSON — truncated write?)"
     try:
+        if not isinstance(doc, dict):
+            return None, "corrupt checkpoint (not a JSON object)"
         if doc.get("schema") != SWEEP_SCHEMA or doc.get("index") != index:
-            return None
+            return None, "corrupt checkpoint (schema/index mismatch)"
         if doc.get("spec_hash") != spec.spec_hash:
-            return None
+            return None, "checkpoint is for a different spec"
         payload = doc["payload"]
         digest = hashlib.sha256(
             canonical_json(payload).encode("utf-8")
         ).hexdigest()
         if digest != doc.get("payload_sha256"):
-            return None
+            return None, "corrupt checkpoint (payload hash mismatch)"
         result = RunResult.from_dict(payload)
         if result.spec != spec:
-            return None
-        return result
-    except (KeyError, TypeError, ValueError):
-        return None
+            return None, "checkpoint payload decodes to a different spec"
+        return result, None
+    except (KeyError, TypeError, ValueError) as exc:
+        return None, f"corrupt checkpoint ({type(exc).__name__}: {exc})"
 
 
 def _write_manifest(out_dir: str, specs: Sequence[ExperimentSpec]) -> None:
@@ -359,6 +502,9 @@ def run_sweep(
     registry: Optional[MetricsRegistry] = None,
     run_registry: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[SweepPoint], None]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.25,
 ) -> SweepReport:
     """Execute every spec and collect results in grid order.
 
@@ -371,6 +517,14 @@ def run_sweep(
     serial caller accumulate per-run metrics into a shared registry
     (the CLI's ``--metrics``).  ``progress`` is invoked once per point
     as it settles, in settlement order.
+
+    ``timeout_s`` and/or ``retries`` switch computation to the guarded
+    scheduler (one killable subprocess per point): a point that runs
+    longer than ``timeout_s`` wall-clock seconds is terminated and
+    marked failed, and any failed point is retried up to ``retries``
+    times with exponential backoff starting at ``retry_backoff_s``.
+    Both are off by default — the common all-deterministic sweep pays
+    no subprocess overhead.
     """
     specs = list(specs)
     if len(set(specs)) != len(specs):
@@ -379,6 +533,10 @@ def run_sweep(
         get_experiment(spec)  # fail fast before any work
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
     registry = registry if registry is not None else active_registry()
 
     def count(name: str, amount: float = 1.0) -> None:
@@ -399,7 +557,14 @@ def run_sweep(
     pending: list[SweepPoint] = []
     for point in points:
         if out_dir and resume:
-            prior = _load_point(out_dir, point.index, point.spec)
+            prior, problem = _load_point(out_dir, point.index, point.spec)
+            if problem is not None:
+                _LOG.warning(
+                    "sweep point #%d: %s at %s; recomputing",
+                    point.index, problem,
+                    _point_path(out_dir, point.index),
+                )
+                count("checkpoint_corrupt")
             if prior is not None:
                 point.result = prior
                 point.cached = True
@@ -434,7 +599,20 @@ def run_sweep(
         if progress:
             progress(point)
 
-    if jobs == 1 or len(pending) <= 1:
+    if timeout_s is not None or retries > 0:
+        def on_retry(point: SweepPoint, attempt: int) -> None:
+            count("retries")
+
+        _run_guarded(
+            pending,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+            settle=settle,
+            on_retry=on_retry,
+        )
+    elif jobs == 1 or len(pending) <= 1:
         for point in pending:
             try:
                 point.result = run_experiment(

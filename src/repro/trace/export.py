@@ -125,7 +125,9 @@ def chrome_trace(
                 "name": f"xmit {h.link}",
                 "ts": _us(h.grant_ns),
                 "dur": _us(h.occupancy_ns),
-                "args": {"dim": h.dim, "sign": h.sign},
+                "args": {"dim": h.dim, "sign": h.sign,
+                         **({"retries": h.retries, "retry_ns": h.retry_ns}
+                            if h.retries else {})},
             })
         for d in f.deliveries:
             events.append({
@@ -252,6 +254,10 @@ def jsonl_lines(
                     "release_ns": h.release_ns,
                     "wait_ns": h.wait_ns,
                     "queue_depth": h.queue_depth,
+                    # Retry fields appear only under fault injection so
+                    # fault-free exports stay byte-identical.
+                    **({"retry_ns": h.retry_ns, "retries": h.retries}
+                       if h.retries else {}),
                 }
                 for h in f.hops
             ],

@@ -60,6 +60,10 @@ class HopRecord:
     grant_ns: float
     release_ns: float
     queue_depth: int  # waiters ahead of this packet at enqueue time
+    #: Link-level retransmission accounting (fault injection only;
+    #: both stay 0 on a fault-free run and the exporters omit them).
+    retry_ns: float = 0.0
+    retries: int = 0
 
     @property
     def wait_ns(self) -> float:
@@ -180,6 +184,16 @@ class NullFlightRecorder:
         pass
 
     def hop_granted(self, packet: "Packet", link: "TorusLink", now: float) -> None:
+        pass
+
+    def hop_fault(
+        self,
+        packet: "Packet",
+        link: "TorusLink",
+        hold_ns: float,
+        retry_ns: float,
+        retries: int,
+    ) -> None:
         pass
 
     def packet_delivered(
@@ -313,6 +327,31 @@ class FlightRecorder:
             m.counter("net.link_traversals").inc()
             if enqueue_ns != now:
                 m.histogram("net.hop_wait_ns").observe(now - enqueue_ns)
+
+    def hop_fault(
+        self,
+        packet: "Packet",
+        link: "TorusLink",
+        hold_ns: float,
+        retry_ns: float,
+        retries: int,
+    ) -> None:
+        """The fault session stretched the hop recorded by the
+        immediately preceding ``hop_granted`` (retransmissions and/or
+        degraded bandwidth): amend its release time and retry span so
+        the critical-path analyzer can tile retry time exactly."""
+        name = repr(link.link_id)
+        flight = self.flights.get(packet.packet_id)
+        if flight is not None and flight.hops:
+            hop = flight.hops[-1]
+            if hop.link == name:
+                hop.release_ns = hop.grant_ns + hold_ns
+                hop.retry_ns = retry_ns
+                hop.retries = retries
+        occ = self.link_occupancy.get(name)
+        if occ and occ[-1][2] == packet.packet_id:
+            grant, _release, pid = occ[-1]
+            occ[-1] = (grant, grant + hold_ns, pid)
 
     def packet_delivered(
         self, packet: "Packet", node: tuple, client: str, now: float

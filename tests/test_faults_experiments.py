@@ -1,0 +1,170 @@
+"""The degradation-study experiments (faults/study.py) and their
+registration through the PR-4 runner: the latency-vs-BER curve, the
+link-degradation workload, and the Anton-vs-cluster crossover.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.study import (
+    cluster_incast_ns,
+    crossover_vs_cluster,
+    run_fault_sensitivity,
+    run_link_degradation,
+)
+from repro.runner.spec import ExperimentSpec, ensure_registered
+
+ensure_registered()
+
+SHAPE = (3, 3, 3)
+
+
+def _values(outcome):
+    return {m.metric: m.value for m in outcome.measurements}
+
+
+class TestFaultSensitivity:
+    def spec(self, **extras):
+        base = ExperimentSpec("fault_sensitivity", shape=SHAPE, rounds=2)
+        return base.with_extras(**extras) if extras else base
+
+    def test_ber_zero_is_the_fault_free_control(self):
+        out = run_fault_sensitivity(self.spec())
+        v = _values(out)
+        assert v["faults_retransmissions"] == 0
+        assert v["faults_packets_lost"] == 0
+        assert out.elapsed_ns == v["incast_latency_ns"] > 0
+
+    def test_latency_monotone_in_ber_with_zero_loss(self):
+        """The acceptance curve: latency rises with BER, every
+        corruption is recovered by retransmission, nothing is lost."""
+        curve = []
+        for ber in (0.0, 1e-4, 3e-4, 1e-3):
+            out = run_fault_sensitivity(self.spec(
+                ber=ber, max_retries=64, backoff_max_ns=640.0))
+            v = _values(out)
+            assert v["faults_packets_lost"] == 0
+            assert v["faults_retry_exhausted"] == 0
+            if ber > 0.0:
+                assert v["faults_retransmissions"] > 0
+            curve.append(out.elapsed_ns)
+        assert curve == sorted(curve)
+        assert curve[-1] > curve[0]
+
+    def test_deterministic_for_a_fixed_spec(self):
+        spec = self.spec(ber=3e-4, max_retries=64)
+        a = run_fault_sensitivity(spec)
+        b = run_fault_sensitivity(spec)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert _values(a) == _values(b)
+
+    def test_seed_is_a_real_axis(self):
+        outcomes = {
+            run_fault_sensitivity(
+                ExperimentSpec("fault_sensitivity", shape=SHAPE, rounds=2,
+                               seed=s).with_extras(ber=3e-4, max_retries=64)
+            ).elapsed_ns
+            for s in range(4)
+        }
+        assert len(outcomes) > 1
+
+
+class TestLinkDegradation:
+    def spec(self, **extras):
+        base = ExperimentSpec("link_degradation", shape=SHAPE, rounds=2)
+        return base.with_extras(**extras) if extras else base
+
+    def test_default_degrades_the_incast_bottleneck(self):
+        """The default selector (z+) must be on the incast's critical
+        path — with dimension-ordered routing the z links into the sink
+        carry the terminal queue, so the degradation is visible
+        end-to-end."""
+        control = run_fault_sensitivity(
+            ExperimentSpec("fault_sensitivity", shape=SHAPE, rounds=2))
+        degraded = run_link_degradation(self.spec())
+        assert degraded.elapsed_ns > control.elapsed_ns
+
+    def test_down_mode_blocks_then_recovers(self):
+        out = run_link_degradation(self.spec(mode="down", window_ns=2000.0))
+        v = _values(out)
+        assert v["faults_link_down_blocks"] > 0
+        assert out.elapsed_ns > 2000.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="degradation mode"):
+            run_link_degradation(self.spec(mode="melt"))
+
+
+class TestCrossover:
+    def test_cluster_baseline_dwarfs_fault_free_anton(self):
+        anton = run_fault_sensitivity(
+            ExperimentSpec("fault_sensitivity", shape=SHAPE, rounds=2))
+        cluster = cluster_incast_ns(26, rounds=2)
+        assert cluster > anton.elapsed_ns  # the paper's whole point
+
+    def test_crossover_found_at_high_ber(self):
+        res = crossover_vs_cluster(shape=SHAPE, bers=(0.0, 1e-4, 1e-3),
+                                   rounds=2)
+        assert [p.ber for p in res.points] == [0.0, 1e-4, 1e-3]
+        assert all(p.packets_lost == 0 for p in res.points)
+        assert res.points[0].anton_ns < res.cluster_ns
+        assert res.points[-1].anton_ns >= res.cluster_ns
+        assert res.crossover_ber == 1e-3
+        text = res.render_text()
+        assert "crossover at ber=0.001" in text
+        assert "SLOWER" in text and "faster" in text
+
+
+class TestThroughTheRunner:
+    def test_sweep_cli_emits_the_curve(self, tmp_path):
+        """The acceptance command: ``repro sweep fault_sensitivity
+        --grid ber=...`` completes, exits 0, and persists monotone
+        latencies with retransmissions > 0 and zero loss."""
+        from repro.__main__ import main
+
+        out = str(tmp_path / "curve")
+        rc = main([
+            "sweep", "fault_sensitivity", "--shape", "3x3x3",
+            "--rounds", "2", "--grid", "ber=0,0.0001,0.0003",
+            "--grid", "max_retries=64", "--no-cache", "--out", out,
+        ])
+        assert rc == 0
+        doc = json.load(open(os.path.join(out, "results.json")))
+        rows = doc["results"]
+
+        def of(metric):
+            picked = [r for r in rows if r["metric"] == metric]
+            picked.sort(key=lambda r: float(
+                r["config"]["extras"].get("ber", 0.0)))
+            return [r["value"] for r in picked]
+
+        lat = of("incast_latency_ns")
+        assert len(lat) == 3
+        assert lat == sorted(lat) and lat[-1] > lat[0]
+        assert sum(of("faults_retransmissions")) > 0
+        assert of("faults_packets_lost") == [0.0, 0.0, 0.0]
+
+    def test_attribute_cli_shows_the_retry_component(self, capsys):
+        """``repro attribute --ber`` surfaces the retry time as its own
+        Fig. 6 row, and the attributed total still matches exactly."""
+        from repro.__main__ import main
+
+        rc = main(["attribute", "latency", "--hops", "3",
+                   "--shape", "4x4x4", "--ber", "0.001"])
+        out = capsys.readouterr().out
+        assert rc == 0  # zero drift between attribution and simulation
+        assert "retransmission" in out
+        rc = main(["attribute", "latency", "--hops", "3",
+                   "--shape", "4x4x4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "retransmission" not in out
+
+    def test_experiments_are_registered(self):
+        from repro.runner.spec import get_experiment
+
+        assert get_experiment("fault_sensitivity")
+        assert get_experiment("link_degradation")
+        assert get_experiment("selftest")

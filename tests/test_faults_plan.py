@@ -1,0 +1,156 @@
+"""FaultPlan (faults/plan.py): selectors, validation, serialization,
+and the derived-seed discipline that keeps fault sweeps deterministic.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.plan import (
+    BitError,
+    Degradation,
+    FaultPlan,
+    LinkDown,
+    NodeStall,
+    selector_matches,
+    single_link_fault_plan,
+)
+
+
+class TestSelectors:
+    def test_star_matches_everything(self):
+        for dim in ("x", "y", "z"):
+            for sign in (1, -1):
+                assert selector_matches("*", dim, sign)
+
+    def test_dimension_selector_matches_both_signs(self):
+        assert selector_matches("x", "x", 1)
+        assert selector_matches("x", "x", -1)
+        assert not selector_matches("x", "y", 1)
+
+    def test_signed_selector_matches_one_direction(self):
+        assert selector_matches("z+", "z", 1)
+        assert not selector_matches("z+", "z", -1)
+        assert selector_matches("z-", "z", -1)
+        assert not selector_matches("z-", "x", -1)
+
+    @pytest.mark.parametrize("bad", ["w", "x*", "+x", "xy", "x+-", ""])
+    def test_bad_selectors_rejected_at_construction(self, bad):
+        with pytest.raises(ValueError, match="link selector"):
+            BitError(links=bad, ber=1e-6)
+
+
+class TestFaultValidation:
+    def test_ber_range(self):
+        with pytest.raises(ValueError, match="ber"):
+            BitError(ber=1.0)
+        with pytest.raises(ValueError, match="ber"):
+            BitError(ber=-0.1)
+        BitError(ber=0.999)  # fine
+
+    def test_windows_need_start_before_end(self):
+        with pytest.raises(ValueError, match="window"):
+            LinkDown(start_ns=10.0, end_ns=10.0)
+        with pytest.raises(ValueError, match="window"):
+            NodeStall(start_ns=-1.0, end_ns=5.0)
+
+    def test_degradation_factors_never_speed_links_up(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Degradation(bandwidth_factor=0.5)
+        with pytest.raises(ValueError, match=">= 1"):
+            Degradation(latency_factor=0.9)
+
+    def test_window_activity(self):
+        d = Degradation(start_ns=100.0, end_ns=200.0, bandwidth_factor=2.0)
+        assert not d.active(99.9)
+        assert d.active(100.0)
+        assert not d.active(200.0)
+
+    def test_plan_escalation_policy_checked(self):
+        with pytest.raises(ValueError, match="on_exhaust"):
+            FaultPlan(on_exhaust="panic")
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPlan(max_retries=-1)
+
+
+class TestEnabled:
+    def test_empty_plan_is_inert(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan(seed=7, max_retries=3).enabled
+
+    def test_any_fault_enables(self):
+        assert FaultPlan(bit_errors=(BitError(ber=1e-9),)).enabled
+        assert FaultPlan(degradations=(
+            Degradation(bandwidth_factor=2.0),)).enabled
+        assert FaultPlan(link_downs=(LinkDown(end_ns=1.0),)).enabled
+        assert FaultPlan(node_stalls=(
+            NodeStall(node=(1, 0, 0), end_ns=1.0),)).enabled
+
+
+class TestSerialization:
+    def plan(self):
+        return FaultPlan(
+            seed=42,
+            max_retries=5,
+            backoff_max_ns=640.0,
+            on_exhaust="drop",
+            bit_errors=(BitError(links="x+", ber=1e-5, corrupt_attempts=2),),
+            degradations=(
+                Degradation(links="y", start_ns=10.0, end_ns=math.inf,
+                            bandwidth_factor=4.0, latency_factor=2.0),
+            ),
+            link_downs=(LinkDown(links="z-", start_ns=0.0, end_ns=500.0),),
+            node_stalls=(NodeStall(node=(1, 2, 3), start_ns=5.0,
+                                   end_ns=15.0),),
+        )
+
+    def test_round_trip_including_infinity(self):
+        plan = self.plan()
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.degradations[0].end_ns == math.inf
+        assert again.node_stalls[0].node == (1, 2, 3)
+        assert again.backoff_max_ns == 640.0
+
+    def test_from_dict_rejects_other_schemas(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict({"schema": "repro-bench/1"})
+
+    def test_canonical_is_stable_and_hash_keys_it(self):
+        a, b = self.plan(), self.plan()
+        assert a.canonical() == b.canonical()
+        assert a.plan_hash == b.plan_hash
+        assert a.plan_hash != FaultPlan().plan_hash
+
+    def test_empty_plan_round_trips(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+
+class TestDerivedSeeds:
+    def test_deterministic_per_scope(self):
+        plan = single_link_fault_plan(1e-6, seed=3)
+        key = ((0, 0, 0), "x", 1)
+        assert plan.derived_seed("link", key) == plan.derived_seed("link", key)
+
+    def test_distinct_scopes_get_distinct_streams(self):
+        plan = single_link_fault_plan(1e-6, seed=3)
+        seeds = {
+            plan.derived_seed("link", ((0, 0, 0), d, s))
+            for d in ("x", "y", "z") for s in (1, -1)
+        }
+        assert len(seeds) == 6
+
+    def test_plan_content_shifts_every_stream(self):
+        a = single_link_fault_plan(1e-6, seed=3)
+        b = single_link_fault_plan(1e-6, seed=4)
+        key = ((0, 0, 0), "x", 1)
+        assert a.derived_seed("link", key) != b.derived_seed("link", key)
+
+
+class TestConvenience:
+    def test_single_link_fault_plan(self):
+        plan = single_link_fault_plan(1e-4, links="y-", seed=9,
+                                      max_retries=3, on_exhaust="drop")
+        assert plan.enabled
+        assert plan.bit_errors == (BitError(links="y-", ber=1e-4),)
+        assert plan.max_retries == 3 and plan.on_exhaust == "drop"
