@@ -16,6 +16,10 @@ Quick access to the headline measurements without writing a script:
 * ``trace``     — record a packet flight trace of an experiment and
   export it as Chrome/Perfetto ``trace_event`` JSON (open the file in
   https://ui.perfetto.dev) and optionally JSONL
+* ``profile``   — profile the *simulator itself* while it runs an
+  experiment: wall time and event counts per event type, component,
+  and simulation phase, exported as a speedscope / collapsed-stack
+  flamegraph or JSON (the vectorization work's measuring stick)
 * ``attribute`` — trace-derived latency attribution: run an experiment
   with the flight recorder on and attribute every nanosecond of the
   critical packet to Fig. 6's component taxonomy, plus per-phase
@@ -41,7 +45,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from contextlib import ExitStack
 
 
@@ -158,7 +161,9 @@ def _effective_jobs(args) -> int:
 # ---------------------------------------------------------------------------
 
 def _run_sweep_cmd(args, registry) -> int:
+    from repro.profile.telemetry import SweepTelemetry
     from repro.runner import expand_grid, parse_grid, run_sweep
+    from repro.trace.metrics import MetricsRegistry
 
     try:
         axes = parse_grid(args.grid or [])
@@ -187,6 +192,29 @@ def _run_sweep_cmd(args, registry) -> int:
     total = len(specs)
     done = {"n": 0}
 
+    telemetry = SweepTelemetry(
+        total=total,
+        registry=registry if registry is not None else MetricsRegistry(),
+        out_dir=out_dir,
+    )
+    live = not getattr(args, "quiet", False)
+
+    def on_event(event):
+        if not live:
+            return
+        kind = event["kind"]
+        if kind == "started":
+            print(f"  [pid {event.get('pid')}] started #{event['index']} "
+                  f"{event.get('spec', '')}")
+        elif kind == "timed_out":
+            print(f"  [pid {event.get('pid')}] TIMED OUT #{event['index']} "
+                  f"after {event.get('timeout_s'):g}s")
+        elif kind == "retried":
+            print(f"  retrying #{event['index']} "
+                  f"(attempt {event.get('attempt')})")
+
+    telemetry.on_event = on_event
+
     def progress(point):
         done["n"] += 1
         line = f"[{done['n']}/{total}] {point.status:>8}  {point.spec.label()}"
@@ -195,8 +223,9 @@ def _run_sweep_cmd(args, registry) -> int:
         else:
             line += f"  {point.error}"
         print(line)
+        if live:
+            print(f"  {telemetry.progress_line()}")
 
-    t0 = time.perf_counter()
     report = run_sweep(
         specs,
         jobs=jobs,
@@ -208,8 +237,8 @@ def _run_sweep_cmd(args, registry) -> int:
         progress=progress,
         timeout_s=args.timeout,
         retries=args.retries,
+        telemetry=telemetry,
     )
-    wall = time.perf_counter() - t0
     print()
     print(report.verdict().render_text())
     parts = [f"{report.computed} computed", f"{report.cache_hits} cached"]
@@ -218,15 +247,67 @@ def _run_sweep_cmd(args, registry) -> int:
     if report.failures:
         parts.append(f"{len(report.failures)} FAILED")
     print(f"\n{total} grid points: " + ", ".join(parts)
-          + f" in {wall:.2f} s wall-clock (jobs={jobs})")
+          + f" in {report.wall_s:.2f} s wall-clock (jobs={jobs})")
+    for line in telemetry.summary_lines():
+        print(line)
     if cache is not None:
         s = cache.stats
         print(f"cache {cache.root}: {s.hits} hits, {s.writes} writes, "
               f"{s.corrupt} corrupt entries recomputed")
     if out_dir:
-        print(f"wrote {out_dir}/results.json (repro-bench/1) and "
-              f"per-point checkpoints under {out_dir}/points/")
+        print(f"wrote {out_dir}/results.json (repro-bench/1), per-point "
+              f"checkpoints under {out_dir}/points/, and live status in "
+              f"{out_dir}/status.json")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(telemetry.prometheus())
+        print(f"wrote {args.prom} (Prometheus text exposition)")
+    if args.html:
+        import html as _html
+
+        from repro.monitor.report import _CSS
+
+        with open(args.html, "w") as fh:
+            fh.write(
+                "<!DOCTYPE html>\n"
+                '<html lang="en"><head><meta charset="utf-8">\n'
+                f"<title>Sweep report: "
+                f"{_html.escape(args.experiment)}</title>\n"
+                f"<style>{_CSS}</style></head><body>\n"
+                f"<h1>Sweep report: {_html.escape(args.experiment)}</h1>\n"
+                + telemetry.html_section()
+                + "</body></html>\n"
+            )
+        print(f"wrote {args.html} (HTML sweep report)")
     return 0 if report.ok else 1
+
+
+def _run_profile(args) -> int:
+    from repro.profile.capture import run_profiled
+    from repro.profile.export import render_table, write_profile
+
+    result = run_profiled(
+        args.experiment, shape=args.shape, rounds=args.rounds,
+        payload=args.payload, seed=args.seed,
+    )
+    profiler = result.profile
+    assert profiler is not None
+    print(f"profiled {args.experiment}: {result.description}")
+    print()
+    print(render_table(profiler, top=args.top))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            write_profile(
+                profiler, fh, fmt=args.format,
+                name=f"{args.experiment} {result.spec.label()}",
+            )
+        hint = {
+            "speedscope": "open in https://www.speedscope.app",
+            "collapsed": "feed to flamegraph.pl or speedscope",
+            "json": "deterministic counts + wall-time profile",
+        }[args.format]
+        print(f"wrote {args.out} ({args.format}; {hint})")
+    return 0
 
 
 def _run_latency(args, registry) -> int:
@@ -556,6 +637,31 @@ def main(argv: list[str] | None = None) -> int:
                       help="sweep axis, repeatable: shape/rounds/payload/"
                            "seed/hops or an experiment-specific extra "
                            "(e.g. --grid hops=1,2,4,8)")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress live per-worker telemetry lines")
+    p_sw.add_argument("--prom", default=None, metavar="OUT",
+                      help="write the sweep.* Prometheus exposition here")
+    p_sw.add_argument("--html", default=None, metavar="OUT",
+                      help="write an HTML sweep telemetry report here")
+
+    p_pr = sub.add_parser(
+        "profile", parents=[_canonical_parent()],
+        help="profile the simulator itself while running an experiment",
+        description="Run one experiment with the engine self-profiler "
+                    "attached: wall time and event counts per event type, "
+                    "component, and simulation phase.  Per-component wall "
+                    "totals tile the run loop's measured wall time exactly "
+                    "(scheduler overhead is its own row, never smeared).",
+    )
+    p_pr.add_argument("experiment", choices=experiment_names())
+    p_pr.add_argument("--out", default=None, metavar="OUT",
+                      help="write the profile to this path")
+    p_pr.add_argument("--format", choices=("speedscope", "collapsed", "json"),
+                      default="speedscope",
+                      help="profile file format (default speedscope; open "
+                           "in https://www.speedscope.app)")
+    p_pr.add_argument("--top", type=int, default=15,
+                      help="hottest event types to print (default 15)")
 
     from repro.trace.capture import EXPERIMENTS
 
@@ -651,6 +757,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "attribute":
         return _run_attribute(args)
     if args.command == "bench":

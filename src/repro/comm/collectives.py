@@ -228,8 +228,17 @@ class AllReduce:
         phase = f"allreduce[{self.payload_bytes}B]#{self._runs + 1}"
         if fl.enabled:
             fl.phase_begin(phase, start)
-        procs, done_times, final = self.start(values)
-        self.sim.run(until=self.sim.all_of(procs))
+        from repro.profile.profiler import active_profiler
+
+        prof = active_profiler()
+        if prof is not None:
+            prof.phase_begin("allreduce")
+        try:
+            procs, done_times, final = self.start(values)
+            self.sim.run(until=self.sim.all_of(procs))
+        finally:
+            if prof is not None:
+                prof.phase_end("allreduce")
         elapsed = max(done_times.values()) - start
         if fl.enabled:
             fl.phase_end(phase, max(done_times.values()))
@@ -366,13 +375,22 @@ class ButterflyAllReduce:
         phase = f"butterfly[{self.payload_bytes}B]#{self._runs}"
         if fl.enabled:
             fl.phase_begin(phase, start)
-        done: dict[NodeCoord, float] = {}
-        final: dict[NodeCoord, float] = {}
-        procs = [
-            self.sim.process(self._node_process(c, values[c], done, final))
-            for c in torus.nodes()
-        ]
-        self.sim.run(until=self.sim.all_of(procs))
+        from repro.profile.profiler import active_profiler
+
+        prof = active_profiler()
+        if prof is not None:
+            prof.phase_begin("butterfly")
+        try:
+            done: dict[NodeCoord, float] = {}
+            final: dict[NodeCoord, float] = {}
+            procs = [
+                self.sim.process(self._node_process(c, values[c], done, final))
+                for c in torus.nodes()
+            ]
+            self.sim.run(until=self.sim.all_of(procs))
+        finally:
+            if prof is not None:
+                prof.phase_end("butterfly")
         if fl.enabled:
             fl.phase_end(phase, max(done.values()))
         results = set(final.values())

@@ -159,8 +159,17 @@ class MigrationProtocol:
         phase = f"migration#{self._runs + 1}"
         if fl.enabled:
             fl.phase_begin(phase, start)
-        procs, done, received, moves = self.start(moves, scan_atoms)
-        self.sim.run(until=self.sim.all_of(procs))
+        from repro.profile.profiler import active_profiler
+
+        prof = active_profiler()
+        if prof is not None:
+            prof.phase_begin("migration")
+        try:
+            procs, done, received, moves = self.start(moves, scan_atoms)
+            self.sim.run(until=self.sim.all_of(procs))
+        finally:
+            if prof is not None:
+                prof.phase_end("migration")
         if fl.enabled:
             fl.phase_end(phase, max(done.values()))
         sent = sum(len(v) for v in moves.values())

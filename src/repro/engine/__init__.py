@@ -25,7 +25,12 @@ Design notes
 from repro.engine.event import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.engine.process import Process
 from repro.engine.resource import Resource, Store
-from repro.engine.simulator import EventHistory, Simulator
+from repro.engine.simulator import (
+    EventHistory,
+    Simulator,
+    add_new_sim_hook,
+    remove_new_sim_hook,
+)
 
 __all__ = [
     "AllOf",
@@ -38,4 +43,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "add_new_sim_hook",
+    "remove_new_sim_hook",
 ]

@@ -10,13 +10,52 @@ trace-diffing tests and for the paper-reproduction benchmarks).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
+from types import FunctionType, MethodType
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.engine.event import AllOf, AnyOf, Event, Timeout
 from repro.engine.process import Coroutine, Process
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.profile.profiler import EngineProfiler
     from repro.trace.metrics import MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# Construction observers
+# ---------------------------------------------------------------------------
+#: Observers called once per :class:`Simulator` construction.  This is
+#: how ambient sessions (the engine profiler, the run meter that feeds
+#: ``RunResult.meta``) find every simulator an experiment builds
+#: without parameter threading — the same reach-the-machinery problem
+#: ``use_monitoring`` solves at ``build_machine``, solved one layer
+#: lower so simulators without machines are covered too.  The disabled
+#: fast path costs one truthiness test per *construction*, never per
+#: event.
+_NEW_SIM_HOOKS: list[Callable[["Simulator"], None]] = []
+
+
+def add_new_sim_hook(
+    hook: Callable[["Simulator"], None],
+) -> Callable[["Simulator"], None]:
+    """Register ``hook(sim)`` to run on every Simulator construction.
+
+    Returns the hook so callers can keep the handle for
+    :func:`remove_new_sim_hook`.  Hooks must be passive with respect to
+    simulation semantics: attaching observers is fine, scheduling
+    events is not.
+    """
+    _NEW_SIM_HOOKS.append(hook)
+    return hook
+
+
+def remove_new_sim_hook(hook: Callable[["Simulator"], None]) -> None:
+    """Unregister a construction observer (missing hooks are ignored)."""
+    try:
+        _NEW_SIM_HOOKS.remove(hook)
+    except ValueError:
+        pass
 
 
 class EventHistory:
@@ -91,6 +130,11 @@ class Simulator:
         #: Optional periodic observer, see :meth:`set_monitor_hook`.
         self._monitor_hook: Optional[Callable[[float], float]] = None
         self._monitor_due: float = 0.0
+        #: Optional engine self-profiler, see :meth:`set_profiler`.
+        self._profiler: "Optional[EngineProfiler]" = None
+        if _NEW_SIM_HOOKS:
+            for hook in list(_NEW_SIM_HOOKS):
+                hook(self)
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -175,6 +219,25 @@ class Simulator:
         self._monitor_due = due
         return prev
 
+    def set_profiler(
+        self, profiler: "Optional[EngineProfiler]"
+    ) -> "Optional[EngineProfiler]":
+        """Install (or with ``None`` remove) the engine self-profiler.
+
+        While installed, :meth:`run` accounts the wall-clock cost and
+        count of every executed event to the profiler, classified by
+        event type, owning component, and open simulation phase.  The
+        profiler is a passive wall-clock observer — it never touches
+        simulated time, the queue, or sequence numbers, so profiled
+        runs are bit-identical to unprofiled ones.  Attach before
+        calling :meth:`run`; the run loop binds the profiler at entry.
+        The disabled fast path costs one ``None`` test per event.
+        Returns the previous profiler.
+        """
+        prev = self._profiler
+        self._profiler = profiler
+        return prev
+
     @property
     def pending(self) -> int:
         """Scheduled entries currently in the event queue."""
@@ -235,27 +298,77 @@ class Simulator:
 
         queue = self._queue
         pop = heapq.heappop
-        while queue:
-            if stop_time is not None and queue[0][0] > stop_time:
-                self.now = stop_time
-                break
-            when, _, fn, args = pop(queue)
-            self.now = when
-            self.events_executed += 1
-            if self._event_hook is not None:
-                self._event_hook(when, fn)
-            if self._monitor_hook is not None and when >= self._monitor_due:
-                self._monitor_due = self._monitor_hook(when)
-            fn(*args)
-            if stop_event is not None and stop_event.triggered:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event._value  # type: ignore[misc]
-            if self._crashes:
-                self._raise_crash()
-        else:
-            if stop_time is not None:
-                self.now = stop_time
+        # The profiler is bound once per run() call: attach-before-run
+        # is guaranteed by the construction hooks, and a local keeps
+        # the per-event cost of the common disabled case at one test.
+        profiler = self._profiler
+        if profiler is not None:
+            # Hot-path state, bound once per run() call: the phase-
+            # keyed rec cache maps a stable per-call-site key (a code
+            # object) straight to the [count, wall_ns] accumulator for
+            # the current phase; rec_for is the cold path that
+            # classifies and primes it.
+            cache_get = profiler.rec_cache.get
+            rec_slow = profiler.rec_for
+            pc = perf_counter_ns
+            loop_t0 = pc()
+            t_prev = loop_t0
+        try:
+            while queue:
+                if stop_time is not None and queue[0][0] > stop_time:
+                    self.now = stop_time
+                    break
+                when, _, fn, args = pop(queue)
+                self.now = when
+                self.events_executed += 1
+                if self._event_hook is not None:
+                    self._event_hook(when, fn)
+                if self._monitor_hook is not None and when >= self._monitor_due:
+                    self._monitor_due = self._monitor_hook(when)
+                if profiler is None:
+                    fn(*args)
+                else:
+                    # Inline key derivation for the two common callable
+                    # shapes (bound python method, plain function);
+                    # everything else takes the cold path.  Timing is
+                    # chained — one clock read per event — so an
+                    # event's wall is dispatch-inclusive: it covers the
+                    # heap pop, hook dispatch, and this bookkeeping
+                    # that delivered it, not just its body.
+                    fcls = fn.__class__
+                    if fcls is MethodType:
+                        obj = fn.__self__
+                        ocls = obj.__class__
+                        if ocls is Process:
+                            key = obj.generator.gi_code
+                        elif ocls is Simulator:
+                            key = None  # _fire: resolve the waiter cold
+                        else:
+                            key = fn.__func__.__code__
+                    elif fcls is FunctionType:
+                        key = fn.__code__
+                    else:
+                        key = None
+                    rec = cache_get(key) if key is not None else None
+                    if rec is None:
+                        rec = rec_slow(fn, args, key)
+                    fn(*args)
+                    t_now = pc()
+                    rec[0] += 1
+                    rec[1] += t_now - t_prev
+                    t_prev = t_now
+                if stop_event is not None and stop_event.triggered:
+                    if stop_event.ok:
+                        return stop_event.value
+                    raise stop_event._value  # type: ignore[misc]
+                if self._crashes:
+                    self._raise_crash()
+            else:
+                if stop_time is not None:
+                    self.now = stop_time
+        finally:
+            if profiler is not None:
+                profiler.account_loop(perf_counter_ns() - loop_t0)
         if stop_event is not None and not stop_event.triggered:
             raise RuntimeError(
                 "simulation ran out of events before the awaited event "

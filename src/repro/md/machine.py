@@ -364,14 +364,26 @@ class AntonMD:
             self.machine.node(m).htis.reset_buffers()
         pkts0 = self.machine.network.packets_injected
         dlv0 = self.machine.network.packets_delivered
-        procs = []
-        for n in self.torus.nodes():
-            procs.extend(self._spawn_node_step(n, kind))
-        self.sim.run(until=self.sim.all_of(procs))
-        end = self.sim.now
-        if self.migration_interval and self.step_index % self.migration_interval == 0:
-            self._run_migration()
+        from repro.profile.profiler import active_profiler
+
+        prof = active_profiler()
+        if prof is not None:
+            prof.phase_begin(f"step:{kind}")
+        try:
+            procs = []
+            for n in self.torus.nodes():
+                procs.extend(self._spawn_node_step(n, kind))
+            self.sim.run(until=self.sim.all_of(procs))
             end = self.sim.now
+            if (
+                self.migration_interval
+                and self.step_index % self.migration_interval == 0
+            ):
+                self._run_migration()
+                end = self.sim.now
+        finally:
+            if prof is not None:
+                prof.phase_end(f"step:{kind}")
         spans = {
             name: (min(marks), max(marks))
             for name, marks in self._phase_marks.items()

@@ -461,19 +461,102 @@ def _prom_number(v: float) -> str:
     return repr(float(v))
 
 
+def _prom_label_value(value: str) -> str:
+    """A label value escaped per the exposition format: backslash,
+    double-quote, and newline get backslash escapes; everything else —
+    unicode included — passes through verbatim."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def prom_labels(**labels: str) -> str:
+    """A ``{k="v",...}`` label block (empty string for no labels),
+    keys in the given order, values escaped."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_prom_label_value(v)}"' for k, v in labels.items()
+    )
+    return "{" + body + "}"
+
+
+class PromText:
+    """Incremental builder for the Prometheus text exposition format.
+
+    One ``metric`` call emits the ``# HELP`` / ``# TYPE`` header and
+    its samples; ``registry`` dumps a whole
+    :class:`~repro.trace.metrics.MetricsRegistry` (counters and gauges
+    directly, histograms and sketches as summaries with quantile
+    labels).  Shared by the monitor report and the sweep telemetry so
+    both expositions escape and format identically.
+    """
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def metric(self, name: str, kind: str, help_text: str, samples) -> None:
+        """Emit one metric family: ``samples`` is an iterable of
+        ``(label_block, value)`` pairs (build blocks with
+        :func:`prom_labels`)."""
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            self.lines.append(f"{name}{labels} {_prom_number(value)}")
+
+    def registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Emit every metric of a registry (no-op for ``None``)."""
+        if registry is None:
+            return
+        for metric in registry:
+            name = _prom_name(metric.name)
+            help_text = metric.help or metric.name
+            if isinstance(metric, Counter):
+                self.metric(name, "counter", help_text, [("", metric.value)])
+            elif isinstance(metric, Gauge):
+                self.metric(name, "gauge", help_text, [("", metric.value)])
+            elif isinstance(metric, (Histogram, QuantileSketch)):
+                self.lines.append(f"# HELP {name} {help_text}")
+                self.lines.append(f"# TYPE {name} summary")
+                if metric.count:
+                    for q in (0.5, 0.9, 0.99):
+                        self.lines.append(
+                            f'{name}{{quantile="{q}"}} '
+                            f"{_prom_number(metric.percentile(q * 100))}"
+                        )
+                    self.lines.append(
+                        f"{name}_sum {_prom_number(metric.sum)}"
+                    )
+                self.lines.append(f"{name}_count {metric.count}")
+
+    def text(self) -> str:
+        """The exposition so far (newline-terminated when non-empty)."""
+        if not self.lines:
+            return ""
+        return "\n".join(self.lines) + "\n"
+
+
+def render_registry_prometheus(
+    registry: Optional[MetricsRegistry],
+) -> str:
+    """A metrics registry alone as one Prometheus exposition (the
+    sweep telemetry's export path)."""
+    out = PromText()
+    out.registry(registry)
+    return out.text()
+
+
 def render_prometheus(
     verdict: HealthVerdict,
     sampler: TimeSeriesSampler,
     registry: Optional[MetricsRegistry] = None,
 ) -> str:
     """Prometheus-style text exposition of the monitored run."""
-    lines: list[str] = []
-
-    def emit(name: str, kind: str, help_text: str, samples) -> None:
-        lines.append(f"# HELP {name} {help_text}")
-        lines.append(f"# TYPE {name} {kind}")
-        for labels, value in samples:
-            lines.append(f"{name}{labels} {_prom_number(value)}")
+    out = PromText()
+    emit = out.metric
 
     emit("repro_sim_time_ns", "gauge", "Simulated time at report.",
          [("", verdict.sim_time_ns)])
@@ -494,11 +577,11 @@ def render_prometheus(
          [("", verdict.dropped_events)])
     emit("repro_monitor_diagnostics", "counter",
          "Diagnostics emitted by level.",
-         [(f'{{level="{lvl}"}}', verdict.diagnostic_counts.get(lvl, 0))
+         [(prom_labels(level=lvl), verdict.diagnostic_counts.get(lvl, 0))
           for lvl in LEVELS])
     emit("repro_health_check_status", "gauge",
          "Invariant status: 0 ok, 1 warning, 2 error.",
-         [(f'{{check="{c.name}"}}',
+         [(prom_labels(check=c.name),
            {"ok": 0, "warning": 1, "error": 2}[c.status])
           for c in verdict.checks])
     emit("repro_healthy", "gauge",
@@ -506,26 +589,8 @@ def render_prometheus(
          [("", 1 if verdict.healthy else 0)])
     emit("repro_monitor_series_last", "gauge",
          "Last sampled value of every monitor time series.",
-         [(f'{{series="{s.name}"}}', s.last[1])
+         [(prom_labels(series=s.name), s.last[1])
           for s in sampler if len(s)])
 
-    if registry is not None:
-        for metric in registry:
-            name = _prom_name(metric.name)
-            help_text = metric.help or metric.name
-            if isinstance(metric, Counter):
-                emit(name, "counter", help_text, [("", metric.value)])
-            elif isinstance(metric, Gauge):
-                emit(name, "gauge", help_text, [("", metric.value)])
-            elif isinstance(metric, (Histogram, QuantileSketch)):
-                lines.append(f"# HELP {name} {help_text}")
-                lines.append(f"# TYPE {name} summary")
-                if metric.count:
-                    for q in (0.5, 0.9, 0.99):
-                        lines.append(
-                            f'{name}{{quantile="{q}"}} '
-                            f"{_prom_number(metric.percentile(q * 100))}"
-                        )
-                    lines.append(f"{name}_sum {_prom_number(metric.sum)}")
-                lines.append(f"{name}_count {metric.count}")
-    return "\n".join(lines) + "\n"
+    out.registry(registry)
+    return out.text()

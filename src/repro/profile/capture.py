@@ -1,0 +1,52 @@
+"""Run a named experiment with the engine self-profiler attached.
+
+This is the machinery behind ``python -m repro profile <experiment>``:
+it builds an :class:`~repro.runner.spec.ExperimentSpec` and dispatches
+it through the experiment registry with :func:`use_profiling` active,
+so every simulator the experiment constructs is profiled.  The
+returned :class:`~repro.runner.result.RunResult` carries the live
+:class:`~repro.profile.profiler.EngineProfiler` on its ``profile``
+attribute for export.
+
+Kept out of ``repro.profile.__init__`` for the same reason as
+``repro.trace.capture``: the experiment registry imports the
+analysis/asic stack, and importing this lazily (CLI, tests) keeps the
+profile package cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runner.result import RunResult, run_experiment
+from repro.runner.spec import ExperimentSpec, experiment_names
+
+#: Experiments the profile CLI can run (any registered experiment —
+#: the profiler's cost is per-event, not per-packet, so even the
+#: untraceable ones profile fine).
+EXPERIMENTS = experiment_names()
+
+
+def run_profiled(
+    experiment: str,
+    shape: tuple[int, int, int] = (4, 4, 4),
+    rounds: int = 2,
+    payload: int = 0,
+    seed: int = 0,
+    hops: Optional[int] = None,
+) -> RunResult:
+    """Profile one experiment run.
+
+    The wall-time numbers are host-dependent, but the event-*count*
+    profile (``result.profile.count_profile()``) is deterministic:
+    running the same spec twice yields byte-identical canonical JSON.
+    """
+    spec = ExperimentSpec(
+        experiment=experiment,
+        shape=shape,
+        rounds=rounds,
+        payload=payload,
+        seed=seed,
+        hops=hops,
+    )
+    return run_experiment(spec, profile=True)

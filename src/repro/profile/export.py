@@ -1,0 +1,168 @@
+"""Profile exporters: speedscope, collapsed stacks, JSON, and a table.
+
+The wall-time profile is a three-level attribution
+(phase → component → event type), which maps naturally onto a
+flamegraph whose stacks are ``phase;component;label``.  Two standard
+formats are emitted:
+
+* **speedscope** — the https://speedscope.app ``sampled`` profile
+  schema; every (phase, component, label) triple becomes one weighted
+  sample, weights in integer nanoseconds, and the scheduler-overhead
+  frame makes the weights sum *exactly* to the measured run-loop wall
+  time (``endValue == loop_wall_ns``);
+* **collapsed stacks** — the classic ``stack value`` lines consumed by
+  ``flamegraph.pl``, speedscope, and most flamegraph tooling.
+
+Both are derived from :meth:`EngineProfiler.wall_profile`, so the
+tiling invariant (component totals sum to the loop wall time) holds in
+every export by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.profile.profiler import EngineProfiler, IDLE_PHASE_LABEL
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def _stacks(profile: dict) -> list[tuple[tuple[str, ...], int, int]]:
+    """Flatten a wall profile into ``(frames, wall_ns, events)`` rows,
+    deterministically ordered (phase, component, label)."""
+    rows: list[tuple[tuple[str, ...], int, int]] = []
+    for phase, comps in sorted(profile["phases"].items()):
+        for comp, labels in sorted(comps.items()):
+            for label, node in sorted(labels.items()):
+                frames = (phase, comp, label)
+                if phase == IDLE_PHASE_LABEL:
+                    frames = (comp, label)
+                rows.append((frames, node["wall_ns"], node["events"]))
+    return rows
+
+
+def to_speedscope(profiler: EngineProfiler, name: str = "repro") -> dict:
+    """The profile as a speedscope ``sampled`` document.
+
+    Weights are integer nanoseconds; their sum equals ``endValue``
+    equals the profiler's measured ``loop_wall_ns`` — the tiling
+    property the acceptance criteria check.
+    """
+    profile = profiler.wall_profile()
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+
+    def frame(label: str) -> int:
+        idx = frame_index.get(label)
+        if idx is None:
+            idx = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return idx
+
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for stack, wall_ns, _events in _stacks(profile):
+        if wall_ns <= 0:
+            continue
+        samples.append([frame(label) for label in stack])
+        weights.append(wall_ns)
+    total = sum(weights)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro-profile/1",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "nanoseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def to_collapsed(profiler: EngineProfiler) -> str:
+    """The profile as collapsed-stack lines (``a;b;c 1234``), one per
+    (phase, component, event type) with non-zero wall time."""
+    profile = profiler.wall_profile()
+    lines = [
+        f"{';'.join(stack)} {wall_ns}"
+        for stack, wall_ns, _events in _stacks(profile)
+        if wall_ns > 0
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(profiler: EngineProfiler) -> dict:
+    """Both profiles in one document: the deterministic counts and the
+    host-dependent wall times, clearly separated."""
+    return {
+        "schema": "repro-profile/1",
+        "counts": profiler.count_profile(),
+        "wall": profiler.wall_profile(),
+    }
+
+
+def render_table(profiler: EngineProfiler, top: int = 15) -> str:
+    """Human-readable summary: component totals (tiling the loop wall
+    time) and the hottest event types."""
+    profile = profiler.wall_profile()
+    loop_ns = max(profile["loop_wall_ns"], 1)
+    out: list[str] = []
+    out.append(
+        f"run loop: {profile['loop_wall_ns'] / 1e6:.2f} ms wall, "
+        f"{profile['events_total']} events "
+        f"({profile['events_per_second']:,.0f} events/s)"
+    )
+    out.append("")
+    out.append(f"{'component':<12} {'wall ms':>10} {'share':>7} {'events':>10}")
+    totals = profiler.component_totals()
+    for comp, (events, wall_ns) in sorted(
+        totals.items(), key=lambda kv: -kv[1][1]
+    ):
+        out.append(
+            f"{comp:<12} {wall_ns / 1e6:>10.2f} "
+            f"{100.0 * wall_ns / loop_ns:>6.1f}% {events:>10}"
+        )
+    out.append("")
+    out.append(f"top {top} event types")
+    out.append(f"{'component/event':<40} {'wall ms':>10} {'events':>10}")
+    for cell in profiler.cells()[:top]:
+        out.append(
+            f"{cell.component + '/' + cell.label:<40} "
+            f"{cell.wall_ns / 1e6:>10.2f} {cell.count:>10}"
+        )
+    phases = [p for p in profiler.phases() if p]
+    if phases:
+        out.append("")
+        out.append("phases: " + ", ".join(phases))
+    return "\n".join(out) + "\n"
+
+
+def write_profile(
+    profiler: EngineProfiler,
+    stream: TextIO,
+    fmt: str = "speedscope",
+    name: str = "repro",
+) -> None:
+    """Serialize one profile to ``stream`` in the requested format."""
+    if fmt == "speedscope":
+        json.dump(to_speedscope(profiler, name=name), stream, indent=2)
+        stream.write("\n")
+    elif fmt == "collapsed":
+        stream.write(to_collapsed(profiler))
+    elif fmt == "json":
+        json.dump(to_json(profiler), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    else:
+        raise ValueError(
+            f"unknown profile format {fmt!r}; "
+            "expected speedscope, collapsed, or json"
+        )

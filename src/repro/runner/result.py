@@ -19,6 +19,7 @@ import math
 import random
 from contextlib import ExitStack
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.bench.results import BenchResult
@@ -26,6 +27,7 @@ from repro.runner.spec import ExperimentSpec, get_experiment
 from repro.trace.metrics import MetricsRegistry, use_registry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.profile.profiler import EngineProfiler
     from repro.trace.flight import FlightRecorder
 
 _BETTER = ("lower", "higher")
@@ -99,6 +101,18 @@ class RunResult:
     flight: "Optional[FlightRecorder]" = field(
         default=None, repr=False, compare=False
     )
+    #: Wall-clock facts about how this run executed (wall_time_s,
+    #: events_executed, events_per_second, peak_rss_bytes).  Host- and
+    #: load-dependent, so deliberately OUTSIDE the serializable core:
+    #: cached results and sweep checkpoints must stay byte-identical
+    #: regardless of where and how fast a point computed.  Sweep
+    #: workers ship it separately, via the telemetry stream.
+    meta: dict = field(default_factory=dict, repr=False, compare=False)
+    #: The live :class:`~repro.profile.profiler.EngineProfiler` when
+    #: the run was profiled (``run_experiment(..., profile=True)``).
+    profile: "Optional[EngineProfiler]" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def experiment(self) -> str:
@@ -165,6 +179,7 @@ def run_experiment(
     *,
     flight: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    profile: bool = False,
 ) -> RunResult:
     """Execute one spec through the registry and wrap the outcome.
 
@@ -173,27 +188,57 @@ def run_experiment(
     bit-for-bit in any process), and a fresh metrics registry is
     installed unless the caller passes one to accumulate into.
     ``flight=True`` additionally attaches a flight recorder (the trace
-    pipeline's mode).
+    pipeline's mode); ``profile=True`` attaches the engine
+    self-profiler to every simulator the experiment builds and hands
+    the live profiler back on ``result.profile``.
+
+    Every run also gets wall-clock execution facts on ``result.meta``
+    (events/sec, peak RSS, wall seconds) — observed from outside the
+    simulation, never serialized with it.
     """
+    from repro.engine.simulator import add_new_sim_hook, remove_new_sim_hook
+
     defn = get_experiment(spec)
     own_registry = registry is None
     if own_registry:
         registry = MetricsRegistry()
     random.seed(spec.derived_seed())
     recorder = None
-    with ExitStack() as stack:
-        stack.enter_context(use_registry(registry))
-        if flight:
-            from repro.trace.flight import FlightRecorder, use_flight
+    profiler = None
+    sims: list = []
+    hook = add_new_sim_hook(sims.append)
+    try:
+        with ExitStack() as stack:
+            stack.enter_context(use_registry(registry))
+            if flight:
+                from repro.trace.flight import FlightRecorder, use_flight
 
-            recorder = FlightRecorder(metrics=registry)
-            stack.enter_context(use_flight(recorder))
-        outcome = defn.func(spec)
+                recorder = FlightRecorder(metrics=registry)
+                stack.enter_context(use_flight(recorder))
+            if profile:
+                from repro.profile.profiler import use_profiling
+
+                profiler = stack.enter_context(use_profiling())
+            wall_t0 = perf_counter_ns()
+            outcome = defn.func(spec)
+            wall_ns = perf_counter_ns() - wall_t0
+    finally:
+        remove_new_sim_hook(hook)
     if not isinstance(outcome, Outcome):
         raise TypeError(
             f"experiment {spec.experiment!r} returned {type(outcome)}, "
             "expected Outcome"
         )
+    from repro.profile.profiler import peak_rss_bytes
+
+    events_executed = sum(sim.events_executed for sim in sims)
+    wall_s = wall_ns / 1e9
+    meta = {
+        "wall_time_s": wall_s,
+        "events_executed": events_executed,
+        "events_per_second": events_executed / wall_s if wall_s > 0 else 0.0,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
     return RunResult(
         spec=spec,
         elapsed_ns=float(outcome.elapsed_ns),
@@ -202,6 +247,8 @@ def run_experiment(
         metrics=registry.snapshot() if own_registry else {},
         registry=registry,
         flight=recorder,
+        meta=meta,
+        profile=profiler,
     )
 
 

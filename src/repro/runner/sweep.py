@@ -40,8 +40,9 @@ import json
 import logging
 import math
 import os
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
 from repro.bench.results import ResultSet, canonical_json
 from repro.monitor.watchdog import LEVELS, CheckResult, HealthVerdict
@@ -49,6 +50,9 @@ from repro.runner.cache import ResultCache, atomic_write_json
 from repro.runner.result import RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, get_experiment
 from repro.trace.metrics import MetricsRegistry, active_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.profile.telemetry import SweepTelemetry
 
 #: Manifest schema for sweep checkpoints; bump on layout changes.
 SWEEP_SCHEMA = "repro-sweep/1"
@@ -147,6 +151,10 @@ class SweepPoint:
     result: Optional[RunResult] = None
     cached: bool = False
     error: Optional[str] = None
+    #: Execution attempts this point consumed (0 for cache/resume hits,
+    #: 1 for a clean first run, more when the guarded scheduler
+    #: retried).
+    attempts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -168,6 +176,8 @@ class SweepReport:
     cache: Optional[ResultCache] = None
     out_dir: Optional[str] = None
     resumed: int = 0
+    #: Parent-observed wall-clock seconds the whole sweep took.
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -184,6 +194,19 @@ class SweepReport:
     @property
     def computed(self) -> int:
         return sum(1 for p in self.points if p.ok and not p.cached)
+
+    @property
+    def retried(self) -> int:
+        """Extra execution attempts beyond each point's first."""
+        return sum(max(0, p.attempts - 1) for p in self.points)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over consultations (resumed points never consulted the
+        cache); 0.0 when no cache was attached."""
+        consulted = len(self.points) - self.resumed
+        hits = self.cache_hits - self.resumed
+        return hits / consulted if consulted > 0 else 0.0
 
     def results(self) -> list[RunResult]:
         return [p.result for p in self.points if p.ok]
@@ -261,6 +284,9 @@ class SweepReport:
             "computed": self.computed,
             "cache_hits": self.cache_hits,
             "resumed": self.resumed,
+            "retried": self.retried,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_s": self.wall_s,
             "failures": [
                 {"index": p.index, "spec": p.spec.to_dict(), "error": p.error}
                 for p in self.failures
@@ -277,19 +303,59 @@ def sweep_key(specs: Sequence[ExperimentSpec]) -> str:
 
 
 def _execute_spec(doc: dict) -> dict:
-    """Worker entry point: runs in a fresh process, returns only
-    plain data (the RunResult's serializable core)."""
+    """Worker entry point: runs in a fresh process, returns an
+    envelope of plain data — the RunResult's serializable core under
+    ``payload`` (byte-stable, what checkpoints and caches persist) and
+    the wall-clock execution facts under ``meta`` (events/sec, peak
+    RSS, worker pid; never persisted with the payload)."""
     spec = ExperimentSpec.from_dict(doc)
-    return run_experiment(spec).to_dict()
+    result = run_experiment(spec)
+    meta = dict(result.meta)
+    meta["pid"] = os.getpid()
+    return {"payload": result.to_dict(), "meta": meta}
 
 
-def _point_entry(doc: dict, conn) -> None:
-    """Guarded-worker entry: run one spec, ship the outcome over the
-    pipe.  Catches ``BaseException`` so even a ``SystemExit`` inside an
-    experiment reports instead of silently dying."""
+def _settle_payload(point: SweepPoint, envelope: dict) -> None:
+    """Decode a worker envelope into ``point`` (meta rides along on
+    the non-serialized attribute)."""
     try:
-        payload = _execute_spec(doc)
-        conn.send(("ok", payload))
+        point.result = RunResult.from_dict(envelope["payload"])
+        point.result.meta = dict(envelope.get("meta", {}))
+        point.error = None
+    except Exception as exc:  # noqa: BLE001
+        point.error = f"{type(exc).__name__}: {exc}"
+
+
+def _telemetry_pool_entry(doc: dict, index: int, queue) -> dict:
+    """Pool-worker entry with a live heartbeat: announce ``started``
+    on the telemetry queue before computing (queue failures never fail
+    the point — telemetry is best-effort by design)."""
+    from repro.profile.telemetry import make_event
+
+    spec = ExperimentSpec.from_dict(doc)
+    try:
+        queue.put(make_event("started", index, spec=spec.label()))
+    except Exception:  # noqa: BLE001 — heartbeats must not kill work
+        pass
+    return _execute_spec(doc)
+
+
+def _point_entry(doc: dict, conn, index: int = -1) -> None:
+    """Guarded-worker entry: run one spec, ship the outcome over the
+    pipe.  Emits a ``("event", started)`` heartbeat first, then exactly
+    one ``("ok", envelope)`` or ``("error", message)``.  Catches
+    ``BaseException`` so even a ``SystemExit`` inside an experiment
+    reports instead of silently dying."""
+    try:
+        try:
+            from repro.profile.telemetry import make_event
+
+            spec_label = ExperimentSpec.from_dict(doc).label()
+            conn.send(("event", make_event("started", index, spec=spec_label)))
+        except Exception:  # noqa: BLE001 — heartbeats must not kill work
+            pass
+        envelope = _execute_spec(doc)
+        conn.send(("ok", envelope))
     except BaseException as exc:  # noqa: BLE001 — reported over the pipe
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
@@ -305,6 +371,7 @@ def _run_guarded(
     retry_backoff_s: float,
     settle: Callable[["SweepPoint"], None],
     on_retry: Callable[["SweepPoint", int], None],
+    on_event: Optional[Callable[[dict], None]] = None,
 ) -> None:
     """Run ``pending`` with one killable subprocess per point.
 
@@ -337,7 +404,7 @@ def _run_guarded(
             parent, child = mp.Pipe(duplex=False)
             proc = mp.Process(
                 target=_point_entry,
-                args=(point.spec.to_dict(), child),
+                args=(point.spec.to_dict(), child, point.index),
                 daemon=True,
             )
             proc.start()
@@ -350,18 +417,26 @@ def _run_guarded(
         for entry in running:
             point, attempt, proc, conn, deadline = entry
             outcome = None
-            if conn.poll(0):
+            # Drain heartbeat events ahead of (and up to) the outcome.
+            while conn.poll(0):
                 try:
-                    outcome = conn.recv()
+                    msg = conn.recv()
                 except EOFError:
                     outcome = ("error", "worker died without reporting")
-            elif not proc.is_alive():
+                    break
+                if msg[0] == "event":
+                    if on_event is not None:
+                        on_event(msg[1])
+                    continue
+                outcome = msg
+                break
+            if outcome is None and not proc.is_alive() and not conn.poll(0):
                 outcome = (
                     "error",
                     f"worker exited with code {proc.exitcode} "
                     "before reporting",
                 )
-            elif time.monotonic() >= deadline:
+            if outcome is None and time.monotonic() >= deadline:
                 proc.terminate()
                 proc.join(1.0)
                 if proc.is_alive():  # pragma: no cover — SIGTERM ignored
@@ -370,19 +445,25 @@ def _run_guarded(
                     "error",
                     f"killed: exceeded per-point timeout of {timeout_s:g}s",
                 )
+                if on_event is not None:
+                    from repro.profile.telemetry import make_event
+
+                    on_event(
+                        make_event(
+                            "timed_out", point.index, pid=proc.pid,
+                            timeout_s=timeout_s, attempt=attempt + 1,
+                        )
+                    )
             if outcome is None:
                 still.append(entry)
                 continue
             progressed = True
             proc.join()
             conn.close()
+            point.attempts = attempt + 1
             kind, payload = outcome
             if kind == "ok":
-                try:
-                    point.result = RunResult.from_dict(payload)
-                    point.error = None
-                except Exception as exc:  # noqa: BLE001
-                    point.error = f"{type(exc).__name__}: {exc}"
+                _settle_payload(point, payload)
             else:
                 point.error = payload
             if point.error is not None and attempt < retries:
@@ -505,6 +586,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.25,
+    telemetry: "Optional[SweepTelemetry]" = None,
 ) -> SweepReport:
     """Execute every spec and collect results in grid order.
 
@@ -525,6 +607,15 @@ def run_sweep(
     times with exponential backoff starting at ``retry_backoff_s``.
     Both are off by default — the common all-deterministic sweep pays
     no subprocess overhead.
+
+    ``telemetry`` attaches a live
+    :class:`~repro.profile.telemetry.SweepTelemetry` aggregator:
+    workers stream structured heartbeat events (started / finished /
+    retried / timed-out, cache hits, peak RSS, events/sec) back to the
+    parent as they happen, feeding ``sweep.*`` gauges, the
+    periodically rewritten ``status.json``, and the CLI progress line.
+    Telemetry is pure parent-side wall-clock bookkeeping: persisted
+    sweep bytes are identical with it on or off.
     """
     specs = list(specs)
     if len(set(specs)) != len(specs):
@@ -545,6 +636,13 @@ def run_sweep(
                 f"sweep.{name}", help="sweep progress/failure reporting"
             ).inc(amount)
 
+    def emit(kind: str, index: int, **fields) -> None:
+        if telemetry is not None:
+            from repro.profile.telemetry import make_event
+
+            telemetry.record(make_event(kind, index, **fields))
+
+    t_sweep0 = time.monotonic()
     count("points", len(specs))
     points = [SweepPoint(index=i, spec=s) for i, s in enumerate(specs)]
 
@@ -570,6 +668,7 @@ def run_sweep(
                 point.cached = True
                 resumed += 1
                 count("resumed")
+                emit("resumed", point.index, spec=point.spec.label())
                 if progress:
                     progress(point)
                 continue
@@ -579,29 +678,50 @@ def run_sweep(
                 point.result = hit
                 point.cached = True
                 count("cache_hits")
+                emit("cache_hit", point.index, spec=point.spec.label())
                 if out_dir:
                     _write_point(out_dir, point)
                 if progress:
                     progress(point)
                 continue
             count("cache_misses")
+            emit("cache_miss", point.index, spec=point.spec.label())
         pending.append(point)
 
     def settle(point: SweepPoint) -> None:
         if point.ok:
             count("computed")
+            meta = getattr(point.result, "meta", None) or {}
+            emit(
+                "finished",
+                point.index,
+                pid=meta.get("pid", os.getpid()),
+                spec=point.spec.label(),
+                wall_s=meta.get("wall_time_s", 0.0),
+                events_executed=meta.get("events_executed", 0),
+                events_per_second=meta.get("events_per_second", 0.0),
+                peak_rss_bytes=meta.get("peak_rss_bytes", 0),
+            )
             if cache is not None:
                 cache.put(point.result)
             if out_dir:
                 _write_point(out_dir, point)
         else:
             count("failures")
+            emit(
+                "failed", point.index,
+                spec=point.spec.label(), error=point.error,
+            )
         if progress:
             progress(point)
 
     if timeout_s is not None or retries > 0:
         def on_retry(point: SweepPoint, attempt: int) -> None:
             count("retries")
+            emit(
+                "retried", point.index,
+                spec=point.spec.label(), attempt=attempt,
+            )
 
         _run_guarded(
             pending,
@@ -611,9 +731,12 @@ def run_sweep(
             retry_backoff_s=retry_backoff_s,
             settle=settle,
             on_retry=on_retry,
+            on_event=telemetry.record if telemetry is not None else None,
         )
     elif jobs == 1 or len(pending) <= 1:
         for point in pending:
+            emit("started", point.index, spec=point.spec.label())
+            point.attempts = 1
             try:
                 point.result = run_experiment(
                     point.spec, registry=run_registry
@@ -622,20 +745,75 @@ def run_sweep(
                 point.error = f"{type(exc).__name__}: {exc}"
             settle(point)
     else:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            ProcessPoolExecutor,
+            wait,
+        )
+        from queue import Empty
 
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_spec, point.spec.to_dict()): point
-                for point in pending
-            }
-            for future in as_completed(futures):
-                point = futures[future]
+        heartbeats = None
+        manager = None
+        if telemetry is not None:
+            # A plain mp.Queue cannot cross a ProcessPoolExecutor task
+            # boundary (it only shares via inheritance); a manager
+            # queue proxy pickles fine.
+            import multiprocessing as mp
+
+            manager = mp.Manager()
+            heartbeats = manager.Queue()
+
+        def drain_heartbeats() -> None:
+            if heartbeats is None:
+                return
+            while True:
                 try:
-                    point.result = RunResult.from_dict(future.result())
-                except Exception as exc:  # noqa: BLE001
-                    point.error = f"{type(exc).__name__}: {exc}"
-                settle(point)
+                    event = heartbeats.get_nowait()
+                except (Empty, OSError, EOFError):
+                    break
+                telemetry.record(event)
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                if heartbeats is None:
+                    futures = {
+                        pool.submit(_execute_spec, point.spec.to_dict()): point
+                        for point in pending
+                    }
+                else:
+                    futures = {
+                        pool.submit(
+                            _telemetry_pool_entry,
+                            point.spec.to_dict(),
+                            point.index,
+                            heartbeats,
+                        ): point
+                        for point in pending
+                    }
+                outstanding = set(futures)
+                while outstanding:
+                    done_now, outstanding = wait(
+                        outstanding,
+                        timeout=0.1 if heartbeats is not None else None,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    drain_heartbeats()
+                    for future in done_now:
+                        point = futures[future]
+                        point.attempts = 1
+                        try:
+                            envelope = future.result()
+                        except Exception as exc:  # noqa: BLE001
+                            point.error = f"{type(exc).__name__}: {exc}"
+                        else:
+                            _settle_payload(point, envelope)
+                        settle(point)
+                drain_heartbeats()
+        finally:
+            if manager is not None:
+                manager.shutdown()
 
     report = SweepReport(
         points=points,
@@ -643,6 +821,7 @@ def run_sweep(
         cache=cache,
         out_dir=out_dir,
         resumed=resumed,
+        wall_s=time.monotonic() - t_sweep0,
     )
     if cache is not None:
         count("cache_corrupt", cache.stats.corrupt)
@@ -651,4 +830,6 @@ def run_sweep(
         atomic_write_json(
             os.path.join(out_dir, "summary.json"), report.summary_doc()
         )
+    if telemetry is not None:
+        telemetry.finalize()
     return report

@@ -1,0 +1,104 @@
+"""Profile exporters: speedscope schema, collapsed stacks, JSON, table."""
+
+import io
+import json
+
+import pytest
+
+from repro.profile import (
+    EngineProfiler,
+    render_table,
+    to_collapsed,
+    to_json,
+    to_speedscope,
+    write_profile,
+)
+from repro.profile.export import SPEEDSCOPE_SCHEMA
+
+
+def _toy_profiler() -> EngineProfiler:
+    p = EngineProfiler()
+    net = p._named_cell("network", "_next_hop")
+    md = p._named_cell("md", "_htis_phase")
+    p.account(net, 100)
+    with p.phase("step:range_limited"):
+        p.account(net, 250)
+        p.account(md, 400)
+    p.account_loop(1000)  # 250 ns of scheduler overhead
+    return p
+
+
+def test_speedscope_document_shape():
+    doc = to_speedscope(_toy_profiler(), name="toy")
+    assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+    assert doc["name"] == "toy"
+    prof = doc["profiles"][0]
+    assert prof["type"] == "sampled"
+    assert prof["unit"] == "nanoseconds"
+    assert len(prof["samples"]) == len(prof["weights"])
+    nframes = len(doc["shared"]["frames"])
+    for stack in prof["samples"]:
+        assert all(0 <= idx < nframes for idx in stack)
+
+
+def test_speedscope_weights_tile_loop_wall():
+    p = _toy_profiler()
+    prof = to_speedscope(p)["profiles"][0]
+    assert sum(prof["weights"]) == prof["endValue"] == p.loop_wall_ns
+
+
+def test_speedscope_includes_scheduler_overhead_frame():
+    doc = to_speedscope(_toy_profiler())
+    names = [f["name"] for f in doc["shared"]["frames"]]
+    assert "(scheduler)" in names
+
+
+def test_collapsed_stacks_format():
+    text = to_collapsed(_toy_profiler())
+    lines = text.strip().split("\n")
+    assert "step:range_limited;md;_htis_phase 400" in lines
+    assert "step:range_limited;network;_next_hop 250" in lines
+    # Idle-phase events collapse to component;label (no phase frame).
+    assert "network;_next_hop 100" in lines
+    assert "engine;(scheduler) 250" in lines
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+    assert total == 1000
+
+
+def test_json_export_carries_both_profiles():
+    doc = to_json(_toy_profiler())
+    assert doc["schema"] == "repro-profile/1"
+    assert doc["counts"]["events_total"] == 3
+    assert doc["wall"]["loop_wall_ns"] == 1000
+    assert doc["wall"]["scheduler_overhead_ns"] == 250
+
+
+def test_render_table_mentions_components_and_phases():
+    text = render_table(_toy_profiler())
+    assert "network" in text
+    assert "md" in text
+    assert "step:range_limited" in text
+    assert "events/s" in text
+
+
+@pytest.mark.parametrize("fmt", ["speedscope", "collapsed", "json"])
+def test_write_profile_round_trips(fmt):
+    buf = io.StringIO()
+    write_profile(_toy_profiler(), buf, fmt=fmt)
+    text = buf.getvalue()
+    assert text.endswith("\n")
+    if fmt != "collapsed":
+        json.loads(text)  # valid JSON documents
+
+
+def test_write_profile_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown profile format"):
+        write_profile(_toy_profiler(), io.StringIO(), fmt="pprof")
+
+
+def test_empty_profiler_exports_cleanly():
+    p = EngineProfiler()
+    assert to_collapsed(p) == ""
+    prof = to_speedscope(p)["profiles"][0]
+    assert prof["samples"] == [] and prof["endValue"] == 0
+    assert to_json(p)["counts"]["events_total"] == 0
