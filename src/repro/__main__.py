@@ -32,6 +32,19 @@ Quick access to the headline measurements without writing a script:
 * ``report``    — same monitored run, rendered as a self-contained
   HTML health report (utilization heatmap, time-series charts,
   sketch-vs-exact percentiles) plus optional Prometheus text
+* ``obs``       — the performance observatory over the run ledger that
+  ``bench``/``profile``/``sweep`` append to: inspect or extend the
+  ledger (``log``), detect per-metric trend regressions against each
+  series' own history (``trends``), attribute the wall-ns delta
+  between two profile captures (``diff``), and render the HTML
+  dashboard / Prometheus exposition (``report``)
+
+Ledger-producing commands share ``--ledger PATH`` / ``--no-ledger``;
+the ambient default is ``.repro-ledger.jsonl`` (``$REPRO_LEDGER``
+overrides the path, and setting it to ``0``/``off``/empty disables
+appending entirely).  Ledger appends are strictly additive
+observability: run results and sweep artifacts are byte-identical
+with the ledger on or off.
 
 Every measurement subcommand shares the same canonical flags —
 ``--shape``, ``--rounds``, ``--payload``, ``--seed`` — built from one
@@ -135,6 +148,40 @@ def _sweep_exec_parent(default_cache: bool) -> argparse.ArgumentParser:
     return p
 
 
+def _ledger_parent() -> argparse.ArgumentParser:
+    """Ledger flags shared by every measuring subcommand."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append this run to the observatory ledger at "
+                        "PATH (default .repro-ledger.jsonl, or "
+                        "$REPRO_LEDGER)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append this run to the observatory ledger")
+    return p
+
+
+def _open_ledger(args):
+    """The ledger this invocation should append to, or ``None``."""
+    if getattr(args, "no_ledger", False):
+        return None
+    from repro.observatory.ledger import Ledger, default_ledger_path
+
+    path = getattr(args, "ledger", None) or default_ledger_path()
+    return Ledger(path) if path else None
+
+
+def _ledger_append(builder, *args, **kwargs):
+    """Run one ledger record builder, best-effort: a broken ledger
+    warns on stderr but never fails the measurement that produced the
+    data."""
+    try:
+        return builder(*args, **kwargs)
+    except OSError as exc:
+        print(f"warning: ledger append failed ({exc}); "
+              "results are unaffected", file=sys.stderr)
+        return None
+
+
 def _make_cache(args, default_on: bool):
     from repro.runner import ResultCache
     from repro.runner.cache import default_cache_dir
@@ -226,6 +273,7 @@ def _run_sweep_cmd(args, registry) -> int:
         if live:
             print(f"  {telemetry.progress_line()}")
 
+    ledger = _open_ledger(args)
     report = run_sweep(
         specs,
         jobs=jobs,
@@ -238,6 +286,7 @@ def _run_sweep_cmd(args, registry) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         telemetry=telemetry,
+        ledger=ledger,
     )
     print()
     print(report.verdict().render_text())
@@ -254,6 +303,9 @@ def _run_sweep_cmd(args, registry) -> int:
         s = cache.stats
         print(f"cache {cache.root}: {s.hits} hits, {s.writes} writes, "
               f"{s.corrupt} corrupt entries recomputed")
+    if report.ledger_record is not None:
+        print(f"ledger: appended record {report.ledger_record.id} "
+              f"to {ledger.path}")
     if out_dir:
         print(f"wrote {out_dir}/results.json (repro-bench/1), per-point "
               f"checkpoints under {out_dir}/points/, and live status in "
@@ -265,7 +317,7 @@ def _run_sweep_cmd(args, registry) -> int:
     if args.html:
         import html as _html
 
-        from repro.monitor.report import _CSS
+        from repro.monitor.report import CSS
 
         with open(args.html, "w") as fh:
             fh.write(
@@ -273,13 +325,39 @@ def _run_sweep_cmd(args, registry) -> int:
                 '<html lang="en"><head><meta charset="utf-8">\n'
                 f"<title>Sweep report: "
                 f"{_html.escape(args.experiment)}</title>\n"
-                f"<style>{_CSS}</style></head><body>\n"
+                f"<style>{CSS}</style></head><body>\n"
                 f"<h1>Sweep report: {_html.escape(args.experiment)}</h1>\n"
                 + telemetry.html_section()
                 + "</body></html>\n"
             )
         print(f"wrote {args.html} (HTML sweep report)")
     return 0 if report.ok else 1
+
+
+def _resolve_wall_profile(ledger, target: str) -> tuple[dict, str]:
+    """Resolve a ``--diff`` target — an on-disk profile file or a
+    ledger record id (prefix) — to ``(wall_profile, label)``."""
+    import os
+
+    if os.path.exists(target):
+        from repro.profile.export import load_wall_profile
+
+        return load_wall_profile(target), target
+    if ledger is not None:
+        record = ledger.get(target)
+        if record is not None:
+            wall = record.attachments.get("wall_profile")
+            if not isinstance(wall, dict):
+                raise ValueError(
+                    f"ledger record {record.id} ({record.kind}) carries "
+                    "no wall-profile attachment; diff against a "
+                    "'profile' record"
+                )
+            return wall, f"{record.id} ({record.label})"
+    raise ValueError(
+        f"{target!r} is neither a profile file nor a "
+        "ledger record id"
+    )
 
 
 def _run_profile(args) -> int:
@@ -307,6 +385,33 @@ def _run_profile(args) -> int:
             "json": "deterministic counts + wall-time profile",
         }[args.format]
         print(f"wrote {args.out} ({args.format}; {hint})")
+    ledger = _open_ledger(args)
+    if args.diff:
+        from repro.observatory.diff import diff_profiles, render_diff
+
+        try:
+            base_profile, base_label = _resolve_wall_profile(
+                ledger, args.diff
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_profiles(
+            base_profile, profiler.wall_profile(),
+            base_label=base_label,
+            cur_label=f"{args.experiment} (this run)",
+        )
+        print()
+        print(render_diff(diff, top=args.top))
+    if ledger is not None:
+        from repro.observatory.ledger import log_profile
+
+        record = _ledger_append(log_profile, ledger, result)
+        if record is not None:
+            print(f"ledger: appended record {record.id} to {ledger.path} "
+                  f"(diff a later capture against it with: "
+                  f"python -m repro profile {args.experiment} "
+                  f"--diff {record.id})")
     return 0
 
 
@@ -518,8 +623,8 @@ def _run_attribute(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.bench.compare import compare, render_comparison
-    from repro.bench.results import ResultSet
+    from repro.bench.compare import compare, render_comparison, verdict_doc
+    from repro.bench.results import ResultSet, canonical_json
     from repro.bench.suite import run_suite
 
     only = set(args.only) if args.only else None
@@ -528,13 +633,31 @@ def _run_bench(args: argparse.Namespace) -> int:
     if args.out:
         results.write(args.out)
         print(f"wrote {args.out} (schema repro-bench/1)")
-    if args.compare is None:
-        return 0
-    baseline = ResultSet.read(args.compare)
-    cmp = compare(baseline, results, threshold=args.threshold)
-    print()
-    print(render_comparison(cmp))
-    return 0 if cmp.ok else 1
+    cmp = None
+    if args.compare is not None:
+        baseline = ResultSet.read(args.compare)
+        cmp = compare(baseline, results, threshold=args.threshold)
+    verdict = verdict_doc(cmp)
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.observatory.ledger import log_bench
+
+        shape = args.shape
+        record = _ledger_append(
+            log_bench, ledger, results,
+            label=f"bench {shape[0]}x{shape[1]}x{shape[2]}",
+            verdict=verdict if cmp is not None else None,
+        )
+        if record is not None:
+            print(f"ledger: appended record {record.id} to {ledger.path}")
+    if cmp is not None:
+        print()
+        print(render_comparison(cmp))
+    if args.json:
+        # The machine-readable verdict, one line, last on stdout — the
+        # code path CI and the observatory share.
+        print(canonical_json(verdict))
+    return 0 if cmp is None or cmp.ok else 1
 
 
 def _run_monitor(args: argparse.Namespace) -> int:
@@ -576,6 +699,221 @@ def _run_monitor(args: argparse.Namespace) -> int:
         print("\nHEALTH CHECK FAILED: at least one invariant was violated")
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Observatory commands
+# ---------------------------------------------------------------------------
+
+def _require_ledger(args):
+    ledger = _open_ledger(args)
+    if ledger is None:
+        print("error: the ledger is disabled ($REPRO_LEDGER); pass "
+              "--ledger PATH explicitly", file=sys.stderr)
+    return ledger
+
+
+def _obs_series(args):
+    """The metric series for trends/report: from ``--trajectory`` when
+    given, else from the ledger.  Returns ``(series_map, source,
+    records)`` or ``None`` after printing an error."""
+    from repro.observatory.trends import (
+        read_trajectory,
+        series_from_records,
+        series_from_trajectory,
+    )
+
+    if getattr(args, "trajectory", None):
+        try:
+            doc = read_trajectory(args.trajectory)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+        return (
+            series_from_trajectory(doc),
+            args.trajectory,
+            doc.get("points", []),
+        )
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return None
+    records = ledger.read()
+    if ledger.skipped:
+        print(f"note: skipped {len(ledger.skipped)} unreadable ledger "
+              f"line(s)", file=sys.stderr)
+    return series_from_records(records), ledger.path, records
+
+
+def _obs_log(args) -> int:
+    import time as _time
+
+    from repro.observatory.ledger import log_bench
+
+    ledger = _require_ledger(args)
+    if ledger is None:
+        return 2
+
+    if args.results:
+        from repro.bench.results import ResultSet
+        from repro.observatory.trends import append_trajectory
+
+        results = ResultSet.read(args.results)
+        record = log_bench(ledger, results, label=args.label)
+        print(f"appended record {record.id} (seq {record.seq}, "
+              f"{len(record.metrics)} metrics) to {ledger.path}")
+        if args.trajectory:
+            doc = append_trajectory(
+                args.trajectory, results,
+                provenance=record.provenance,
+            )
+            print(f"appended trajectory point seq "
+                  f"{doc['points'][-1]['seq']} to {args.trajectory}")
+        return 0
+    if args.trajectory:
+        print("error: --trajectory needs --results FILE to append from",
+              file=sys.stderr)
+        return 2
+
+    if args.verify:
+        problems = ledger.verify()
+        if problems:
+            print(f"{ledger.path}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"{ledger.path}: chain intact")
+        return 0
+
+    records = ledger.read()
+    if not records:
+        print(f"{ledger.path}: empty ledger")
+        return 0
+    tail = records[-args.limit:] if args.limit > 0 else records
+    print(f"{ledger.path}: {len(records)} record(s)"
+          + (f", showing last {len(tail)}" if len(tail) < len(records)
+             else ""))
+    print(f"{'seq':>5}  {'id':<12}  {'kind':<8}  {'when':<16}  "
+          f"{'metrics':>7}  label")
+    for rec in tail:
+        when = _time.strftime("%Y-%m-%d %H:%M", _time.localtime(rec.ts))
+        print(f"{rec.seq:>5}  {rec.id:<12}  {rec.kind:<8}  {when:<16}  "
+              f"{len(rec.metrics):>7}  {rec.label}")
+    if ledger.skipped:
+        print(f"({len(ledger.skipped)} unreadable line(s) skipped)")
+    return 0
+
+
+def _obs_trends(args) -> int:
+    from repro.bench.results import canonical_json
+    from repro.observatory.trends import trend_report
+
+    resolved = _obs_series(args)
+    if resolved is None:
+        return 2
+    series_map, source, _records = resolved
+    report = trend_report(
+        series_map,
+        window=args.window,
+        min_points=args.min_points,
+        min_worsening=args.min_worsening,
+        mad_mult=args.mad_mult,
+    )
+    if args.json:
+        print(canonical_json(report.to_doc()))
+    else:
+        print(f"source: {source}")
+        print()
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def _obs_diff(args) -> int:
+    from repro.bench.results import canonical_json
+    from repro.observatory.diff import diff_profiles, render_diff
+
+    ledger = _open_ledger(args)
+    try:
+        base_profile, base_label = _resolve_wall_profile(ledger, args.base)
+        cur_profile, cur_label = _resolve_wall_profile(ledger, args.current)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_profiles(
+        base_profile, cur_profile,
+        base_label=base_label, cur_label=cur_label,
+    )
+    if args.json:
+        print(canonical_json(diff.to_doc()))
+    else:
+        print(render_diff(diff, top=args.top))
+    return 0
+
+
+def _obs_report(args) -> int:
+    from repro.observatory.report import (
+        render_observatory_html,
+        render_observatory_prometheus,
+    )
+    from repro.observatory.trends import trend_report
+
+    resolved = _obs_series(args)
+    if resolved is None:
+        return 2
+    series_map, source, records = resolved
+    report = trend_report(series_map, window=args.window)
+
+    diff = None
+    if args.diff:
+        from repro.observatory.diff import diff_profiles
+
+        ledger = _open_ledger(args)
+        try:
+            base_profile, base_label = _resolve_wall_profile(
+                ledger, args.diff[0]
+            )
+            cur_profile, cur_label = _resolve_wall_profile(
+                ledger, args.diff[1]
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_profiles(
+            base_profile, cur_profile,
+            base_label=base_label, cur_label=cur_label,
+        )
+
+    latest = None
+    if records:
+        last = records[-1]
+        latest = getattr(last, "provenance", None) or (
+            last.get("provenance") if isinstance(last, dict) else None
+        )
+    html = render_observatory_html(
+        report,
+        records=len(records),
+        latest_provenance=latest,
+        diff=diff,
+        source=source,
+    )
+    with open(args.html, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"wrote {args.html} (observatory dashboard: "
+          f"{len(report.verdicts)} metric series, "
+          f"{len(report.regressions)} trend regression(s))")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(render_observatory_prometheus(report))
+        print(f"wrote {args.prom} (Prometheus text exposition)")
+    return 0
+
+
+def _run_obs(args) -> int:
+    return {
+        "log": _obs_log,
+        "trends": _obs_trends,
+        "diff": _obs_diff,
+        "report": _obs_report,
+    }[args.obs_command](args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -620,7 +958,8 @@ def main(argv: list[str] | None = None) -> int:
     p_sw = sub.add_parser(
         "sweep",
         parents=[_canonical_parent(with_shape=False),
-                 _sweep_exec_parent(default_cache=True)],
+                 _sweep_exec_parent(default_cache=True),
+                 _ledger_parent()],
         help="run any experiment over a parameter grid, parallel + cached",
         description="Execute a grid of independent runs across a process "
                     "pool with a content-addressed result cache: "
@@ -645,7 +984,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="write an HTML sweep telemetry report here")
 
     p_pr = sub.add_parser(
-        "profile", parents=[_canonical_parent()],
+        "profile", parents=[_canonical_parent(), _ledger_parent()],
         help="profile the simulator itself while running an experiment",
         description="Run one experiment with the engine self-profiler "
                     "attached: wall time and event counts per event type, "
@@ -662,6 +1001,11 @@ def main(argv: list[str] | None = None) -> int:
                            "in https://www.speedscope.app)")
     p_pr.add_argument("--top", type=int, default=15,
                       help="hottest event types to print (default 15)")
+    p_pr.add_argument("--diff", default=None, metavar="BASE",
+                      help="differential profile: attribute this run's "
+                           "wall-ns delta against BASE — a ledger record "
+                           "id (prefix) or an on-disk profile file "
+                           "(speedscope or --format json output)")
 
     from repro.trace.capture import EXPERIMENTS
 
@@ -691,9 +1035,14 @@ def main(argv: list[str] | None = None) -> int:
     from repro.bench.suite import SUITE_BENCHMARKS
 
     p_be = sub.add_parser(
-        "bench", parents=[_canonical_parent()],
+        "bench", parents=[_canonical_parent(), _ledger_parent()],
         help="run the quick benchmark suite; optionally gate on a baseline",
     )
+    p_be.add_argument("--json", action="store_true",
+                      help="print the machine-readable compare verdict "
+                           "(repro-bench-verdict/1) as the last stdout "
+                           "line — the code path CI and the observatory "
+                           "share")
     p_be.add_argument("--jobs", type=int, default=1,
                       help="parallel worker processes for suite sweeps")
     p_be.add_argument("--out", default=None,
@@ -753,6 +1102,97 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--html", default="report.html", metavar="OUT",
                        help="HTML output path (default report.html)")
 
+    from repro.observatory.trends import (
+        DEFAULT_MAD_MULT,
+        DEFAULT_MIN_POINTS,
+        DEFAULT_MIN_WORSENING,
+        DEFAULT_WINDOW,
+    )
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="the performance observatory: ledger, trends, profile "
+             "diffs, dashboard",
+        description="Longitudinal performance tooling over the run "
+                    "ledger that bench/profile/sweep append to.",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_log = obs_sub.add_parser(
+        "log", parents=[_ledger_parent()],
+        help="show the ledger tail, verify the hash chain, or append "
+             "a repro-bench/1 results file",
+    )
+    o_log.add_argument("--limit", type=int, default=20,
+                       help="records to show (default 20; 0 = all)")
+    o_log.add_argument("--verify", action="store_true",
+                       help="verify the hash chain and exit 1 on damage")
+    o_log.add_argument("--results", default=None, metavar="FILE",
+                       help="append a bench record built from this "
+                            "repro-bench/1 results file")
+    o_log.add_argument("--label", default="bench",
+                       help="label for the appended record "
+                            "(default 'bench')")
+    o_log.add_argument("--trajectory", default=None, metavar="FILE",
+                       help="with --results: also append one point to "
+                            "this repro-trajectory/1 document")
+
+    trend_common = argparse.ArgumentParser(add_help=False)
+    trend_common.add_argument(
+        "--trajectory", default=None, metavar="FILE",
+        help="read series from this repro-trajectory/1 document "
+             "instead of the ledger")
+    trend_common.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=f"history window per metric (default {DEFAULT_WINDOW})")
+
+    o_tr = obs_sub.add_parser(
+        "trends", parents=[_ledger_parent(), trend_common],
+        help="robust per-metric regression detection over the ledger "
+             "window; exit 1 on any trend regression",
+    )
+    o_tr.add_argument("--min-points", type=int, default=DEFAULT_MIN_POINTS,
+                      help="points required before judging a series "
+                           f"(default {DEFAULT_MIN_POINTS})")
+    o_tr.add_argument("--min-worsening", type=float,
+                      default=DEFAULT_MIN_WORSENING,
+                      help="floor on the worsening threshold "
+                           f"(default {DEFAULT_MIN_WORSENING})")
+    o_tr.add_argument("--mad-mult", type=float, default=DEFAULT_MAD_MULT,
+                      help="noise multiplier: threshold grows to this "
+                           "many MADs of the series' own spread "
+                           f"(default {DEFAULT_MAD_MULT})")
+    o_tr.add_argument("--json", action="store_true",
+                      help="print the repro-obs-trends/1 verdict as one "
+                           "line instead of the table")
+
+    o_df = obs_sub.add_parser(
+        "diff", parents=[_ledger_parent()],
+        help="attribute the wall-ns delta between two profile captures",
+    )
+    o_df.add_argument("base", help="baseline: ledger record id (prefix) "
+                                   "or profile file")
+    o_df.add_argument("current", help="current: ledger record id "
+                                      "(prefix) or profile file")
+    o_df.add_argument("--top", type=int, default=15,
+                      help="largest movers to list (default 15)")
+    o_df.add_argument("--json", action="store_true",
+                      help="print the repro-profile-diff/1 document "
+                           "as one line instead of the table")
+
+    o_rp = obs_sub.add_parser(
+        "report", parents=[_ledger_parent(), trend_common],
+        help="render the observatory HTML dashboard (+ Prometheus)",
+    )
+    o_rp.add_argument("--html", default="observatory.html", metavar="OUT",
+                      help="HTML output path (default observatory.html)")
+    o_rp.add_argument("--prom", default=None, metavar="OUT",
+                      help="write the Prometheus exposition here")
+    o_rp.add_argument("--diff", nargs=2, default=None,
+                      metavar=("BASE", "CURRENT"),
+                      help="include a profile-diff flame table for "
+                           "these two captures")
+
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -765,6 +1205,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.command in ("monitor", "report"):
         return _run_monitor(args)
+    if args.command == "obs":
+        return _run_obs(args)
 
     registry = None
     stack = ExitStack()

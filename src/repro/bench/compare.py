@@ -26,6 +26,9 @@ from repro.bench.results import BenchResult, ResultSet
 #: Default maximum tolerated fractional worsening (5%).
 DEFAULT_THRESHOLD = 0.05
 
+#: Schema tag of the machine-readable verdict (``bench --json``).
+VERDICT_SCHEMA = "repro-bench-verdict/1"
+
 
 @dataclass(slots=True)
 class Delta:
@@ -134,6 +137,52 @@ def compare(
         )
     out.added = sorted(current.keys() - baseline.keys())
     return out
+
+
+def verdict_doc(cmp: Optional[Comparison]) -> dict:
+    """The comparison as one machine-readable verdict document.
+
+    This is the single code path CI, ``bench --json``, and the
+    observatory ledger share: ``ok`` mirrors the process exit code,
+    and each flagged delta carries its direction-signed worsening.
+    ``cmp=None`` (no baseline given) yields a trivially-ok verdict
+    with ``compared: 0``.
+    """
+    if cmp is None:
+        return {
+            "schema": VERDICT_SCHEMA,
+            "ok": True,
+            "compared": 0,
+            "regressions": [],
+            "improvements": [],
+            "missing": [],
+            "added": [],
+        }
+
+    def row(d: Delta) -> dict:
+        worsening = d.worsening
+        return {
+            "benchmark": d.baseline.benchmark,
+            "metric": d.baseline.metric,
+            "config_hash": d.baseline.config_hash,
+            "baseline": d.baseline.value,
+            "current": d.current.value,
+            "worsening": (
+                None if worsening in (float("inf"), float("-inf"))
+                else worsening
+            ),
+            "threshold": d.threshold,
+        }
+
+    return {
+        "schema": VERDICT_SCHEMA,
+        "ok": cmp.ok,
+        "compared": len(cmp.deltas),
+        "regressions": [row(d) for d in cmp.regressions],
+        "improvements": [row(d) for d in cmp.improvements],
+        "missing": ["/".join(key) for key in cmp.missing],
+        "added": ["/".join(key) for key in cmp.added],
+    }
 
 
 def render_comparison(cmp: Comparison) -> str:

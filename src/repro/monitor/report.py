@@ -109,6 +109,10 @@ svg .series { stroke: var(--accent); stroke-width: 2; fill: none; }
 .note { color: var(--ink-2); font-size: 13px; }
 """
 
+#: Public alias: the shared stylesheet every self-contained HTML
+#: artifact (health report, sweep dashboard, observatory) embeds.
+CSS = _CSS
+
 
 def _fmt(v: float, digits: int = 1) -> str:
     """Compact number formatting for tables and tiles."""

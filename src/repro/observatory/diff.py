@@ -1,0 +1,235 @@
+"""Differential profiling: attribute a wall-time delta between two
+EngineProfiler captures.
+
+Aligns two ``repro-profile-wall/1`` documents on the full
+``(phase, component, event label)`` key — the union of both captures,
+so a row that exists only on one side still shows up (as pure growth
+or pure disappearance) instead of being silently dropped.  The rows
+obey the same exact-tiling discipline as attribution and the profiler
+itself:
+
+    sum(row deltas) + residual == current.loop_wall_ns - base.loop_wall_ns
+
+with the residual carried as an explicit ``(unattributed)`` row.  For
+two native captures the residual is zero by construction (component
+totals tile ``loop_wall_ns`` exactly on each side); for a capture
+reconstructed from a sampled speedscope export it absorbs whatever the
+sampling lost — visibly, never silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Schema tag of the diff document (``repro obs diff --json``).
+DIFF_SCHEMA = "repro-profile-diff/1"
+
+#: Label of the residual row that makes the rows tile the total delta.
+RESIDUAL_LABEL = "(unattributed)"
+
+Key = tuple[str, str, str]
+
+
+@dataclass
+class DiffRow:
+    """One aligned ``(phase, component, label)`` cell of the diff."""
+
+    phase: str
+    component: str
+    label: str
+    base_wall_ns: int = 0
+    cur_wall_ns: int = 0
+    base_events: int = 0
+    cur_events: int = 0
+
+    @property
+    def key(self) -> Key:
+        return (self.phase, self.component, self.label)
+
+    @property
+    def delta_wall_ns(self) -> int:
+        return self.cur_wall_ns - self.base_wall_ns
+
+    @property
+    def delta_events(self) -> int:
+        return self.cur_events - self.base_events
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "component": self.component,
+            "label": self.label,
+            "base_wall_ns": self.base_wall_ns,
+            "cur_wall_ns": self.cur_wall_ns,
+            "delta_wall_ns": self.delta_wall_ns,
+            "base_events": self.base_events,
+            "cur_events": self.cur_events,
+            "delta_events": self.delta_events,
+        }
+
+
+def _flatten(profile: dict) -> dict[Key, tuple[int, int]]:
+    """``(phase, component, label) -> (events, wall_ns)`` of one
+    wall-profile document."""
+    out: dict[Key, tuple[int, int]] = {}
+    for phase, comps in profile.get("phases", {}).items():
+        for comp, labels in comps.items():
+            for label, node in labels.items():
+                key = (str(phase), str(comp), str(label))
+                events = int(node.get("events", 0))
+                wall = int(node.get("wall_ns", 0))
+                if key in out:
+                    prev = out[key]
+                    out[key] = (prev[0] + events, prev[1] + wall)
+                else:
+                    out[key] = (events, wall)
+    return out
+
+
+@dataclass
+class ProfileDiff:
+    """The aligned difference of two wall-profile captures."""
+
+    base_label: str
+    cur_label: str
+    base_loop_wall_ns: int
+    cur_loop_wall_ns: int
+    rows: list[DiffRow] = field(default_factory=list)
+
+    @property
+    def delta_loop_wall_ns(self) -> int:
+        return self.cur_loop_wall_ns - self.base_loop_wall_ns
+
+    @property
+    def attributed_delta_ns(self) -> int:
+        return sum(r.delta_wall_ns for r in self.rows)
+
+    @property
+    def residual_ns(self) -> int:
+        """What the per-row deltas do NOT explain of the total loop
+        delta.  Zero for two native captures; nonzero (and displayed)
+        when one side came from a lossy source."""
+        return self.delta_loop_wall_ns - self.attributed_delta_ns
+
+    def tiles_exactly(self) -> bool:
+        """The invariant: row deltas + residual == total delta."""
+        return (
+            self.attributed_delta_ns + self.residual_ns
+            == self.delta_loop_wall_ns
+        )
+
+    def sorted_rows(self) -> list[DiffRow]:
+        """Rows by descending |delta|, ties broken by key."""
+        return sorted(
+            self.rows, key=lambda r: (-abs(r.delta_wall_ns), r.key)
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": DIFF_SCHEMA,
+            "base": self.base_label,
+            "current": self.cur_label,
+            "base_loop_wall_ns": self.base_loop_wall_ns,
+            "cur_loop_wall_ns": self.cur_loop_wall_ns,
+            "delta_loop_wall_ns": self.delta_loop_wall_ns,
+            "residual_ns": self.residual_ns,
+            "rows": [r.to_dict() for r in self.sorted_rows()],
+        }
+
+
+def diff_profiles(
+    base: dict,
+    current: dict,
+    base_label: str = "base",
+    cur_label: str = "current",
+) -> ProfileDiff:
+    """Align two wall-profile documents into a :class:`ProfileDiff`.
+
+    Both arguments are ``repro-profile-wall/1`` dicts (e.g. from
+    :meth:`EngineProfiler.wall_profile`, a ledger attachment, or
+    :func:`repro.profile.export.load_wall_profile`).
+    """
+    base_cells = _flatten(base)
+    cur_cells = _flatten(current)
+    rows = []
+    for key in sorted(set(base_cells) | set(cur_cells)):
+        b_events, b_wall = base_cells.get(key, (0, 0))
+        c_events, c_wall = cur_cells.get(key, (0, 0))
+        rows.append(DiffRow(
+            phase=key[0],
+            component=key[1],
+            label=key[2],
+            base_wall_ns=b_wall,
+            cur_wall_ns=c_wall,
+            base_events=b_events,
+            cur_events=c_events,
+        ))
+    return ProfileDiff(
+        base_label=base_label,
+        cur_label=cur_label,
+        base_loop_wall_ns=int(base.get("loop_wall_ns", 0)),
+        cur_loop_wall_ns=int(current.get("loop_wall_ns", 0)),
+        rows=rows,
+    )
+
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:+.3f}" if ns else "+0.000"
+
+
+def render_diff(diff: ProfileDiff, top: int = 15) -> str:
+    """Human-readable flame-style delta table: the ``top`` largest
+    movers, an ``(other)`` aggregate for the rest, and the residual
+    row when nonzero — every nanosecond of the total delta appears
+    exactly once."""
+    out: list[str] = []
+    out.append(
+        f"profile diff: {diff.base_label} -> {diff.cur_label}"
+    )
+    out.append(
+        f"loop wall: {diff.base_loop_wall_ns / 1e6:.3f} ms -> "
+        f"{diff.cur_loop_wall_ns / 1e6:.3f} ms "
+        f"(delta {_ms(diff.delta_loop_wall_ns)} ms)"
+    )
+    out.append("")
+    out.append(
+        f"{'phase':<14} {'component':<12} {'event':<26} "
+        f"{'delta ms':>10} {'base ms':>10} {'cur ms':>10} {'d.events':>9}"
+    )
+    ranked = diff.sorted_rows()
+    shown = ranked[:top]
+    rest = ranked[top:]
+    for row in shown:
+        out.append(
+            f"{row.phase:<14} {row.component:<12} {row.label:<26} "
+            f"{_ms(row.delta_wall_ns):>10} "
+            f"{row.base_wall_ns / 1e6:>10.3f} "
+            f"{row.cur_wall_ns / 1e6:>10.3f} "
+            f"{row.delta_events:>+9d}"
+        )
+    if rest:
+        other_delta = sum(r.delta_wall_ns for r in rest)
+        other_base = sum(r.base_wall_ns for r in rest)
+        other_cur = sum(r.cur_wall_ns for r in rest)
+        other_events = sum(r.delta_events for r in rest)
+        out.append(
+            f"{'':<14} {'':<12} {f'(other: {len(rest)} rows)':<26} "
+            f"{_ms(other_delta):>10} "
+            f"{other_base / 1e6:>10.3f} "
+            f"{other_cur / 1e6:>10.3f} "
+            f"{other_events:>+9d}"
+        )
+    if diff.residual_ns:
+        out.append(
+            f"{'':<14} {'':<12} {RESIDUAL_LABEL:<26} "
+            f"{_ms(diff.residual_ns):>10} "
+            f"{'':>10} {'':>10} {'':>9}"
+        )
+    out.append("")
+    sign = "slower" if diff.delta_loop_wall_ns > 0 else "faster"
+    out.append(
+        f"total: {_ms(diff.delta_loop_wall_ns)} ms ({sign}); "
+        f"attributed {_ms(diff.attributed_delta_ns)} ms, "
+        f"residual {_ms(diff.residual_ns)} ms"
+    )
+    return "\n".join(out)

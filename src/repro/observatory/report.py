@@ -1,0 +1,289 @@
+"""Observatory rendering: the HTML dashboard and Prometheus text.
+
+Reuses the monitor report pipeline — same stylesheet, same stat-tile
+and status idioms, same :class:`~repro.monitor.report.PromText`
+builder — so every self-contained HTML artifact in the repo looks and
+escapes identically.  The dashboard carries:
+
+* stat tiles (ledger length, metrics tracked, trend verdict counts,
+  latest record provenance);
+* one sparkline per metric series (inline SVG, latest point marked)
+  with the latest-vs-window delta and the trend status as icon+label
+  (never color alone), plus a table view of the raw values;
+* optionally a profile-diff flame table (top movers, ``(other)``
+  aggregate, residual row — the same exact-tiling rows as the text
+  renderer).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Optional
+
+from repro.monitor.report import CSS, PromText, _fmt, prom_labels
+from repro.observatory.diff import RESIDUAL_LABEL, ProfileDiff
+from repro.observatory.trends import MetricSeries, TrendReport, TrendVerdict
+
+_STATUS = {
+    "ok": ("status-good", "&#10003;", "ok"),
+    "improvement": ("status-good", "&#8595;", "improved"),
+    "regression": ("status-critical", "&#10007;", "REGRESSION"),
+    "insufficient": ("status-warning", "&#8230;", "insufficient history"),
+}
+
+#: Extra rules on top of the shared monitor stylesheet.
+_OBS_CSS = """
+.spark { vertical-align: middle; }
+.spark .series { stroke-width: 1.5; }
+.spark .latest { fill: var(--accent); }
+.metric-name { font-weight: 600; }
+.mono { font-variant-numeric: tabular-nums; }
+td.neg { color: var(--good); }
+td.pos { color: var(--critical); }
+"""
+
+
+def _sparkline(
+    series: MetricSeries, width: int = 160, height: int = 36
+) -> str:
+    """A minimal inline-SVG trajectory: the line plus a dot on the
+    latest point.  The adjacent table cells carry the numbers, so the
+    sparkline needs no axes."""
+    values = series.values
+    if len(values) < 2:
+        return '<span class="note">-</span>'
+    pad = 4
+    v0, v1 = min(values), max(values)
+    if v1 == v0:
+        v1 = v0 + 1.0
+    n = len(values)
+
+    def x(i: int) -> float:
+        return pad + i / (n - 1) * (width - 2 * pad)
+
+    def y(v: float) -> float:
+        return pad + (1.0 - (v - v0) / (v1 - v0)) * (height - 2 * pad)
+
+    pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
+    label = html.escape(
+        f"{series.name}: {n} points, min {v0:g}, max {v1:g}"
+    )
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="{label}">'
+        f'<polyline class="series" points="{pts}"/>'
+        f'<circle class="latest" cx="{x(n - 1):.1f}" '
+        f'cy="{y(values[-1]):.1f}" r="2.5"/>'
+        "</svg>"
+    )
+
+
+def _pct(worsening: float) -> str:
+    if math.isinf(worsening):
+        return "inf"
+    return f"{worsening * 100.0:+.1f}%"
+
+
+def _tiles(report: TrendReport, records: int, latest: Optional[dict]) -> str:
+    stats = [
+        ("ledger records", _fmt(records)),
+        ("metrics tracked", _fmt(len(report.verdicts))),
+        ("regressions", _fmt(len(report.regressions))),
+        ("improvements", _fmt(len(report.improvements))),
+    ]
+    if latest:
+        for key in ("git_rev", "hostname", "source_fingerprint"):
+            if latest.get(key):
+                stats.append((key.replace("_", " "), str(latest[key])))
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{html.escape(str(v))}</div>'
+        f'<div class="k">{html.escape(k)}</div></div>'
+        for k, v in stats
+    )
+    return f'<div class="tiles">{tiles}</div>'
+
+
+def _trend_rows(report: TrendReport) -> str:
+    rows = []
+    ordered = sorted(
+        report.verdicts,
+        key=lambda v: (v.status != "regression", v.series.key),
+    )
+    for v in ordered:
+        cls, icon, label = _STATUS.get(v.status, _STATUS["ok"])
+        rows.append(
+            "<tr>"
+            f'<td class="metric-name">{html.escape(v.series.benchmark)}'
+            f"/{html.escape(v.series.metric)}</td>"
+            f"<td>{html.escape(v.series.units) or '-'}</td>"
+            f"<td>{_sparkline(v.series)}</td>"
+            f'<td class="num">{len(v.series.values)}</td>'
+            f'<td class="num">'
+            f"{_fmt(v.median) if v.window else '-'}</td>"
+            f'<td class="num">'
+            f"{_fmt(v.latest) if v.window else '-'}</td>"
+            f'<td class="num">'
+            f"{_pct(v.worsening) if v.window else '-'}</td>"
+            f'<td class="{cls}">{icon} {html.escape(label)}</td>'
+            "</tr>"
+        )
+        rows.append(_values_detail(v))
+    return "".join(rows)
+
+
+def _values_detail(v: TrendVerdict) -> str:
+    body = "".join(
+        f'<tr><td>{html.escape(tag) or "-"}</td>'
+        f'<td class="num">{_fmt(value)}</td></tr>'
+        for tag, value in zip(v.series.tags, v.series.values)
+    )
+    return (
+        '<tr><td colspan="8">'
+        "<details><summary>table view (all points)</summary>"
+        "<table><thead><tr><th>run</th>"
+        '<th class="num">value</th></tr></thead>'
+        f"<tbody>{body}</tbody></table></details>"
+        "</td></tr>"
+    )
+
+
+def _diff_section(diff: ProfileDiff, top: int = 15) -> str:
+    def delta_cell(ns: int) -> str:
+        cls = "pos" if ns > 0 else "neg" if ns < 0 else ""
+        return f'<td class="num {cls}">{ns / 1e6:+.3f}</td>'
+
+    ranked = diff.sorted_rows()
+    shown, rest = ranked[:top], ranked[top:]
+    rows = []
+    for r in shown:
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(r.phase)}</td>"
+            f"<td>{html.escape(r.component)}</td>"
+            f"<td>{html.escape(r.label)}</td>"
+            + delta_cell(r.delta_wall_ns)
+            + f'<td class="num">{r.base_wall_ns / 1e6:.3f}</td>'
+            f'<td class="num">{r.cur_wall_ns / 1e6:.3f}</td>'
+            f'<td class="num">{r.delta_events:+d}</td>'
+            "</tr>"
+        )
+    if rest:
+        rows.append(
+            "<tr><td></td><td></td>"
+            f"<td>(other: {len(rest)} rows)</td>"
+            + delta_cell(sum(r.delta_wall_ns for r in rest))
+            + f'<td class="num">'
+            f"{sum(r.base_wall_ns for r in rest) / 1e6:.3f}</td>"
+            f'<td class="num">'
+            f"{sum(r.cur_wall_ns for r in rest) / 1e6:.3f}</td>"
+            f'<td class="num">'
+            f"{sum(r.delta_events for r in rest):+d}</td></tr>"
+        )
+    if diff.residual_ns:
+        rows.append(
+            "<tr><td></td><td></td>"
+            f"<td>{html.escape(RESIDUAL_LABEL)}</td>"
+            + delta_cell(diff.residual_ns)
+            + "<td></td><td></td><td></td></tr>"
+        )
+    return (
+        f"<h2>Profile diff: {html.escape(diff.base_label)} &rarr; "
+        f"{html.escape(diff.cur_label)}</h2>"
+        f'<p class="note">loop wall '
+        f"{diff.base_loop_wall_ns / 1e6:.3f} ms &rarr; "
+        f"{diff.cur_loop_wall_ns / 1e6:.3f} ms "
+        f"(&Delta; {diff.delta_loop_wall_ns / 1e6:+.3f} ms, residual "
+        f"{diff.residual_ns / 1e6:+.3f} ms)</p>"
+        "<table><thead><tr><th>phase</th><th>component</th><th>event</th>"
+        '<th class="num">&Delta; ms</th><th class="num">base ms</th>'
+        '<th class="num">cur ms</th><th class="num">&Delta; events</th>'
+        "</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_observatory_html(
+    report: TrendReport,
+    records: int = 0,
+    latest_provenance: Optional[dict] = None,
+    diff: Optional[ProfileDiff] = None,
+    title: str = "Performance observatory",
+    source: str = "",
+) -> str:
+    """The full self-contained observatory dashboard."""
+    cls, icon, label = (
+        ("status-good", "&#10003;", "NO TREND REGRESSIONS")
+        if report.ok
+        else ("status-critical", "&#10007;",
+              f"{len(report.regressions)} TREND REGRESSION(S)")
+    )
+    subtitle = (
+        html.escape(source) if source else "run ledger"
+    ) + f" &middot; {len(report.verdicts)} metric series"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{CSS}{_OBS_CSS}</style></head><body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<p class="subtitle">{subtitle}</p>\n'
+        + _tiles(report, records, latest_provenance)
+        + f'<p><span class="verdict-banner {cls}">{icon} {label}'
+        "</span></p>\n"
+        "<h2>Metric trajectories</h2>\n"
+        "<table><thead><tr><th>metric</th><th>units</th>"
+        "<th>trajectory</th>"
+        '<th class="num">n</th><th class="num">median</th>'
+        '<th class="num">latest</th><th class="num">worsening</th>'
+        "<th>status</th></tr></thead>"
+        f"<tbody>{_trend_rows(report)}</tbody></table>\n"
+        + (_diff_section(diff) if diff is not None else "")
+        + "</body></html>\n"
+    )
+
+
+def render_observatory_prometheus(report: TrendReport) -> str:
+    """Trend verdicts as a Prometheus text exposition."""
+    out = PromText()
+    status_code = {
+        "ok": 0, "improvement": 0, "insufficient": 1, "regression": 2,
+    }
+
+    def labels(v: TrendVerdict) -> str:
+        return prom_labels(
+            benchmark=v.series.benchmark,
+            metric=v.series.metric,
+            config=v.series.config_hash,
+        )
+
+    judged = [v for v in report.verdicts if v.status != "insufficient"]
+    out.metric(
+        "repro_obs_trend_status", "gauge",
+        "Trend status: 0 ok/improved, 1 insufficient, 2 regression.",
+        [(labels(v), status_code.get(v.status, 1))
+         for v in report.verdicts],
+    )
+    out.metric(
+        "repro_obs_latest", "gauge",
+        "Latest value of every tracked metric series.",
+        [(labels(v), v.latest) for v in judged],
+    )
+    out.metric(
+        "repro_obs_window_median", "gauge",
+        "Robust window median of every tracked metric series.",
+        [(labels(v), v.median) for v in judged],
+    )
+    out.metric(
+        "repro_obs_worsening", "gauge",
+        "Direction-signed relative change of latest vs window median.",
+        [(labels(v), v.worsening) for v in judged
+         if not math.isinf(v.worsening)],
+    )
+    out.metric(
+        "repro_obs_regressions", "gauge",
+        "Number of metric series flagged as trend regressions.",
+        [("", len(report.regressions))],
+    )
+    return out.text()

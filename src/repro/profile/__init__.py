@@ -29,13 +29,13 @@ from repro.profile.profiler import (
     EngineProfiler,
     ProfileCell,
     active_profiler,
-    peak_rss_bytes,
     use_profiling,
 )
 from repro.profile.telemetry import (
     STATUS_SCHEMA,
     SweepTelemetry,
     make_event,
+    peak_rss_bytes,
     read_status,
 )
 

@@ -146,6 +146,82 @@ def render_table(profiler: EngineProfiler, top: int = 15) -> str:
     return "\n".join(out) + "\n"
 
 
+def wall_profile_from_speedscope(doc: dict) -> dict:
+    """Reconstruct a ``repro-profile-wall/1`` dict from a speedscope
+    export produced by :func:`to_speedscope`.
+
+    Three-frame stacks map back to ``phase → component → label``;
+    two-frame stacks were emitted under the idle phase, so they return
+    to :data:`IDLE_PHASE_LABEL`.  Event counts are not carried by the
+    speedscope format and come back as 0; ``loop_wall_ns`` is the
+    profile's ``endValue`` (== the sum of weights by construction), so
+    a diff against a reconstructed capture still tiles exactly.
+    """
+    profiles = doc.get("profiles") or []
+    if not profiles:
+        raise ValueError("speedscope document has no profiles")
+    prof = profiles[0]
+    frames = [
+        str(f.get("name", "")) for f in doc.get("shared", {}).get("frames", [])
+    ]
+    phases: dict[str, dict[str, dict[str, dict]]] = {}
+    total = 0
+    for sample, weight in zip(
+        prof.get("samples", []), prof.get("weights", [])
+    ):
+        names = [frames[i] for i in sample]
+        if len(names) == 3:
+            phase, comp, label = names
+        elif len(names) == 2:
+            phase, (comp, label) = IDLE_PHASE_LABEL, names
+        else:
+            raise ValueError(
+                f"unexpected stack depth {len(names)} in speedscope "
+                "document (not a repro profile export?)"
+            )
+        node = phases.setdefault(phase, {}).setdefault(comp, {}).setdefault(
+            label, {"events": 0, "wall_ns": 0}
+        )
+        node["wall_ns"] += int(weight)
+        total += int(weight)
+    loop_wall_ns = int(prof.get("endValue", total))
+    return {
+        "schema": "repro-profile-wall/1",
+        "loop_wall_ns": loop_wall_ns,
+        "event_wall_ns": total,
+        "scheduler_overhead_ns": max(0, loop_wall_ns - total),
+        "events_total": 0,
+        "events_per_second": 0.0,
+        "component_totals_ns": {},
+        "phases": phases,
+    }
+
+
+def load_wall_profile(path: str) -> dict:
+    """Load a wall-profile dict from any on-disk shape the profile CLI
+    can produce: a raw ``repro-profile-wall/1`` document, a combined
+    ``repro-profile/1`` (``--format json``) document, or a speedscope
+    export (reconstructed, see
+    :func:`wall_profile_from_speedscope`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if doc.get("schema") == "repro-profile-wall/1":
+        return doc
+    if doc.get("schema") == "repro-profile/1":
+        wall = doc.get("wall")
+        if not isinstance(wall, dict):
+            raise ValueError(f"{path}: repro-profile/1 without wall block")
+        return wall
+    if doc.get("$schema") == SPEEDSCOPE_SCHEMA or "profiles" in doc:
+        return wall_profile_from_speedscope(doc)
+    raise ValueError(
+        f"{path}: not a recognizable profile document "
+        "(repro-profile-wall/1, repro-profile/1, or speedscope)"
+    )
+
+
 def write_profile(
     profiler: EngineProfiler,
     stream: TextIO,

@@ -38,7 +38,6 @@ profiled run is bit-identical to a bare one (property-tested).
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
@@ -431,14 +430,6 @@ def use_profiling(
         remove_new_sim_hook(hook)
 
 
-def peak_rss_bytes() -> int:
-    """This process's peak resident set size in bytes (0 where the
-    platform offers no ``getrusage``)."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if os.uname().sysname == "Darwin":  # pragma: no cover - macOS units
-        return int(rss)
-    return int(rss) * 1024
+# Unit normalization (Linux KiB vs macOS bytes) lives with the other
+# host-fact collectors; re-exported here for existing importers.
+from repro.profile.telemetry import peak_rss_bytes  # noqa: E402,F401

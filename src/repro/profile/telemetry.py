@@ -29,6 +29,7 @@ from __future__ import annotations
 import html as _html
 import json
 import os
+import sys
 import time
 from typing import Callable, Optional
 
@@ -51,6 +52,24 @@ EVENT_KINDS = (
 
 #: Kinds that settle a point (drive the done count and the ETA).
 _TERMINAL = ("finished", "failed", "cache_hit", "resumed")
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size **in bytes**, normalized
+    once at the source: ``ru_maxrss`` is kibibytes on Linux but bytes
+    on macOS, and every consumer downstream — run meta, telemetry
+    events, ledger provenance — assumes bytes.  Returns 0 where the
+    platform offers no ``getrusage``."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if rss <= 0:  # pragma: no cover - defensive
+        return 0
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return rss
+    return rss * 1024
 
 
 def make_event(kind: str, index: int, **fields) -> dict:

@@ -229,7 +229,7 @@ def run_experiment(
             f"experiment {spec.experiment!r} returned {type(outcome)}, "
             "expected Outcome"
         )
-    from repro.profile.profiler import peak_rss_bytes
+    from repro.profile.telemetry import peak_rss_bytes
 
     events_executed = sum(sim.events_executed for sim in sims)
     wall_s = wall_ns / 1e9

@@ -178,6 +178,9 @@ class SweepReport:
     resumed: int = 0
     #: Parent-observed wall-clock seconds the whole sweep took.
     wall_s: float = 0.0
+    #: The observatory ledger record this sweep appended (``None`` when
+    #: no ledger was attached or the append failed).
+    ledger_record: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -587,6 +590,7 @@ def run_sweep(
     retries: int = 0,
     retry_backoff_s: float = 0.25,
     telemetry: "Optional[SweepTelemetry]" = None,
+    ledger=None,
 ) -> SweepReport:
     """Execute every spec and collect results in grid order.
 
@@ -616,6 +620,13 @@ def run_sweep(
     periodically rewritten ``status.json``, and the CLI progress line.
     Telemetry is pure parent-side wall-clock bookkeeping: persisted
     sweep bytes are identical with it on or off.
+
+    ``ledger`` attaches an observatory
+    :class:`~repro.observatory.ledger.Ledger`: the finished sweep's
+    measurements and execution summary are appended as one record.
+    The append is best-effort (a broken ledger warns, never fails the
+    sweep) and strictly additive — results, checkpoints, and
+    ``results.json`` bytes are identical with it on or off.
     """
     specs = list(specs)
     if len(set(specs)) != len(specs):
@@ -832,4 +843,14 @@ def run_sweep(
         )
     if telemetry is not None:
         telemetry.finalize()
+    if ledger is not None:
+        from repro.observatory.ledger import log_sweep
+
+        try:
+            report.ledger_record = log_sweep(ledger, report)
+        except OSError as exc:
+            _LOG.warning(
+                "sweep ledger append to %s failed (%s); results are "
+                "unaffected", getattr(ledger, "path", "?"), exc,
+            )
     return report

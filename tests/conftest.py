@@ -8,6 +8,16 @@ from repro.asic import build_machine
 from repro.engine import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the ambient observatory ledger at a per-test temp file so
+    tests that drive ``main()`` never write ``.repro-ledger.jsonl``
+    into the developer's working directory.  Tests that want a
+    specific ledger still override via ``--ledger``/``--no-ledger`` or
+    their own ``REPRO_LEDGER``."""
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.jsonl"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,217 @@
+"""Trend detection over the ledger and the CI trajectory artifact."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.results import BenchResult, ResultSet
+from repro.observatory.ledger import Ledger
+from repro.observatory.trends import (
+    MetricSeries,
+    append_trajectory,
+    detect,
+    read_trajectory,
+    series_from_records,
+    series_from_trajectory,
+    trend_report,
+)
+
+# Deterministic ±2% "measurement jitter" around the paper's 162 ns
+# one-hop latency — what a healthy ledger looks like.
+JITTERED = [162.0, 160.5, 163.9, 161.2, 164.1, 159.8, 162.7, 161.9, 163.3]
+
+
+def _series(values, better="lower"):
+    s = MetricSeries(benchmark="latency", metric="one_way_1hop_ns",
+                     config_hash="abc123def456", units="ns", better=better)
+    for i, v in enumerate(values):
+        s.add(v, f"r{i}")
+    return s
+
+
+def _ledger_with(tmp_path, values, name="led.jsonl"):
+    """A synthetic ledger: one bench record per value."""
+    ledger = Ledger(str(tmp_path / name))
+    for v in values:
+        row = BenchResult("latency", "one_way_1hop_ns", v, "ns",
+                          "lower", {"hops": 1})
+        ledger.append("bench", "bench 2x2x2", metrics=[row.to_dict()])
+    return ledger
+
+
+class TestDetect:
+    def test_injected_3x_regression_is_flagged(self):
+        """Acceptance: jittered history then a 3x latency spike."""
+        v = detect(_series(JITTERED + [3 * 162.0]))
+        assert v.status == "regression"
+        assert v.worsening > 1.5  # roughly +200%
+        assert v.median == pytest.approx(162.0, rel=0.02)
+
+    def test_jitter_alone_stays_quiet(self):
+        """Acceptance: the same history without the spike is ok."""
+        v = detect(_series(JITTERED + [163.0]))
+        assert v.status == "ok"
+
+    def test_direction_higher_is_better(self):
+        # Throughput dropping to a third IS the regression here.
+        v = detect(_series([2e6, 2.02e6, 1.98e6, 2.01e6, 2e6 / 3],
+                           better="higher"))
+        assert v.status == "regression"
+        # ... and a throughput spike is an improvement, not an alert.
+        v = detect(_series([2e6, 2.02e6, 1.98e6, 2.01e6, 6e6],
+                           better="higher"))
+        assert v.status == "improvement"
+
+    def test_improvement_latency_drop(self):
+        v = detect(_series(JITTERED + [81.0]))
+        assert v.status == "improvement"
+        assert not v.is_regression
+
+    def test_insufficient_history(self):
+        v = detect(_series([162.0, 163.0, 161.0]))  # < min_points
+        assert v.status == "insufficient"
+        assert "need more history" in v.detail()
+
+    def test_zero_median_mirrors_compare(self):
+        # A hard gate sitting at zero must stay hard: any nonzero
+        # latest is an infinite worsening, like bench/compare's
+        # zero-baseline rule.
+        v = detect(_series([0.0, 0.0, 0.0, 0.0, 1.0]))
+        assert v.status == "regression"
+        assert math.isinf(v.worsening)
+        assert v.to_dict()["worsening"] is None  # JSON-safe
+        v = detect(_series([0.0, 0.0, 0.0, 0.0, 0.0]))
+        assert v.status == "ok"
+
+    def test_noisy_series_earns_proportional_slack(self):
+        # ±20% noise: a +25% latest is within 5 MADs and must not page.
+        noisy = [100.0, 120.0, 80.0, 115.0, 85.0, 118.0, 82.0, 125.0]
+        v = detect(_series(noisy))
+        assert v.status == "ok"
+        assert v.threshold > 0.10  # grew past the floor
+        # A flat deterministic series keeps the tight 10% floor.
+        flat = [100.0] * 8
+        assert detect(_series(flat)).threshold == pytest.approx(0.10)
+
+    def test_window_limits_the_baseline(self):
+        # Ancient history outside the window must not drag the median.
+        old = [1000.0] * 10
+        recent = [100.0, 101.0, 99.0, 100.0, 102.0]
+        v = detect(_series(old + recent), window=4)
+        assert v.status == "ok"
+        assert v.median == pytest.approx(100.0, rel=0.02)
+
+
+class TestReport:
+    def test_report_over_ledger_records(self, tmp_path):
+        ledger = _ledger_with(tmp_path, JITTERED + [3 * 162.0])
+        series_map = series_from_records(ledger.read())
+        assert len(series_map) == 1
+        report = trend_report(series_map)
+        assert not report.ok
+        assert len(report.regressions) == 1
+        text = report.render_text()
+        assert "TREND ALERT" in text
+        assert "REGRESSION" in text
+
+    def test_report_quiet_ledger(self, tmp_path):
+        ledger = _ledger_with(tmp_path, JITTERED + [162.5])
+        report = trend_report(series_from_records(ledger.read()))
+        assert report.ok
+        assert "OK: no metric drifted" in report.render_text()
+
+    def test_to_doc_counts(self, tmp_path):
+        ledger = _ledger_with(tmp_path, JITTERED + [3 * 162.0])
+        doc = trend_report(series_from_records(ledger.read())).to_doc()
+        assert doc["schema"] == "repro-obs-trends/1"
+        assert doc["ok"] is False
+        assert doc["metrics"] == 1
+        assert doc["regressions"] == 1
+        assert doc["verdicts"][0]["status"] == "regression"
+
+    def test_changed_config_starts_a_new_series(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "led.jsonl"))
+        for hops in (1, 2):
+            row = BenchResult("latency", "one_way_1hop_ns", 162.0 * hops,
+                              "ns", "lower", {"hops": hops})
+            ledger.append("bench", "b", metrics=[row.to_dict()])
+        series_map = series_from_records(ledger.read())
+        assert len(series_map) == 2
+        assert all(len(s.values) == 1 for s in series_map.values())
+
+
+class TestTrajectory:
+    def test_missing_file_reads_empty(self, tmp_path):
+        doc = read_trajectory(str(tmp_path / "absent.json"))
+        assert doc["points"] == []
+
+    def test_append_assigns_monotonic_seq(self, tmp_path):
+        path = str(tmp_path / "traj.json")
+        rs = ResultSet([BenchResult("latency", "one_way_1hop_ns", 162.0,
+                                    "ns", "lower", {"hops": 1})])
+        append_trajectory(path, rs, provenance={"git_rev": "aaa"})
+        doc = append_trajectory(path, rs, provenance={"git_rev": "bbb"})
+        assert [p["seq"] for p in doc["points"]] == [0, 1]
+        assert doc == read_trajectory(path)
+        series_map = series_from_trajectory(doc)
+        (series,) = series_map.values()
+        assert series.values == [162.0, 162.0]
+        assert series.tags == ["seq 0", "seq 1"]
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/1", "points": []}')
+        with pytest.raises(ValueError, match="repro-trajectory/1"):
+            read_trajectory(str(path))
+
+
+class TestCli:
+    def test_trends_exit_one_on_regression(self, tmp_path, capsys):
+        ledger = _ledger_with(tmp_path, JITTERED + [3 * 162.0])
+        rc = main(["obs", "trends", "--ledger", ledger.path])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "TREND ALERT" in out
+
+    def test_trends_exit_zero_on_jitter(self, tmp_path, capsys):
+        ledger = _ledger_with(tmp_path, JITTERED + [162.5])
+        rc = main(["obs", "trends", "--ledger", ledger.path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: no metric drifted" in out
+
+    def test_trends_json_is_one_machine_line(self, tmp_path, capsys):
+        import json
+
+        ledger = _ledger_with(tmp_path, JITTERED + [3 * 162.0])
+        rc = main(["obs", "trends", "--ledger", ledger.path, "--json"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["schema"] == "repro-obs-trends/1"
+        assert doc["ok"] is False
+
+    def test_trends_over_trajectory_file(self, tmp_path, capsys):
+        path = str(tmp_path / "traj.json")
+        for v in JITTERED + [3 * 162.0]:
+            rs = ResultSet([BenchResult("latency", "one_way_1hop_ns", v,
+                                        "ns", "lower", {"hops": 1})])
+            append_trajectory(path, rs)
+        rc = main(["obs", "trends", "--trajectory", path])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "TREND ALERT" in out
+
+    def test_trends_tunable_floor(self, tmp_path, capsys):
+        # A +15% shift passes the default 10% floor is a regression,
+        # but a loosened floor lets it through.
+        ledger = _ledger_with(tmp_path, [100.0] * 8 + [115.0])
+        assert main(["obs", "trends", "--ledger", ledger.path]) == 1
+        capsys.readouterr()
+        assert main(["obs", "trends", "--ledger", ledger.path,
+                     "--min-worsening", "0.25"]) == 0
