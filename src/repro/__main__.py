@@ -701,6 +701,77 @@ def _run_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_congest(args: argparse.Namespace) -> int:
+    from repro.bench.results import canonical_json
+    from repro.congestion.capture import run_congested
+    from repro.congestion.decompose import (
+        decompose_run,
+        render_decomposition,
+    )
+    from repro.congestion.report import (
+        congestion_doc,
+        render_congestion_html,
+        render_congestion_prometheus,
+        render_congestion_text,
+    )
+    from repro.congestion.tree import build_congestion_tree
+    from repro.topology.torus import Torus3D
+
+    result = run_congested(
+        args.experiment,
+        shape=args.shape,
+        rounds=args.rounds,
+        payload=args.payload,
+        seed=args.seed,
+        hops=args.hops,
+        senders=args.senders,
+    )
+    torus = Torus3D(*args.shape)
+    tree = build_congestion_tree(
+        result.flight, torus, min_episode_ns=args.min_episode
+    )
+    print(f"congest {args.experiment}: {result.description}")
+    print()
+    print(render_congestion_text(tree, top=args.top))
+    decomps = decompose_run(result.flight, torus)
+    if decomps:
+        print()
+        print(render_decomposition(
+            decomps,
+            title=f"Delay decomposition — {len(decomps)} packets, "
+                  "exactly tiled per packet",
+        ))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_congestion_html(
+                tree,
+                series=result.congestion.depth_series
+                if result.congestion is not None else None,
+                experiment=args.experiment,
+                shape=args.shape,
+            ))
+        print(f"wrote {args.html} (self-contained congestion X-ray)")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(render_congestion_prometheus(tree, result.congestion))
+        print(f"wrote {args.prom} (Prometheus text exposition)")
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.observatory.ledger import log_congest
+
+        record = _ledger_append(log_congest, ledger, result, tree)
+        if record is not None:
+            print(f"ledger: appended record {record.id} to {ledger.path}")
+    if args.json:
+        # Machine-readable document, one line, last on stdout — the
+        # code path the CI congestion smoke parses.
+        print(canonical_json(
+            congestion_doc(tree, experiment=args.experiment,
+                           shape=args.shape, top=args.top)
+        ))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Observatory commands
 # ---------------------------------------------------------------------------
@@ -846,6 +917,16 @@ def _obs_diff(args) -> int:
         print(canonical_json(diff.to_doc()))
     else:
         print(render_diff(diff, top=args.top))
+    if (
+        args.max_residual is not None
+        and abs(diff.residual_ns) > args.max_residual
+    ):
+        print(
+            f"RESIDUAL GATE FAILED: |{diff.residual_ns:.0f}| ns "
+            f"unattributed exceeds --max-residual {args.max_residual:.0f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1102,6 +1183,41 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--html", default="report.html", metavar="OUT",
                        help="HTML output path (default report.html)")
 
+    from repro.congestion.capture import EXPERIMENTS as CONGEST_EXPERIMENTS
+
+    p_cg = sub.add_parser(
+        "congest", parents=[_canonical_parent(), _ledger_parent()],
+        help="the congestion X-ray: queue telemetry, per-packet delay "
+             "decomposition, backpressure attribution",
+        description="Runs one experiment with the flight recorder and "
+                    "the congestion recorder attached, then prints the "
+                    "backpressure congestion tree (links ranked by "
+                    "contributed head-of-line wait), the worst link's "
+                    "feeders, blocking episodes, and the exact "
+                    "per-packet delay decomposition.",
+    )
+    p_cg.add_argument("experiment", choices=CONGEST_EXPERIMENTS)
+    p_cg.add_argument("--hops", type=int, default=None,
+                      help="network hops for the latency experiment")
+    p_cg.add_argument("--senders", type=int, default=None,
+                      help="fan-in width for the congestion incast "
+                           "(default 8; 26 = full 3x3x3 incast)")
+    p_cg.add_argument("--top", type=int, default=10,
+                      help="contended links/episodes to list (default 10)")
+    p_cg.add_argument("--min-episode", type=float, default=0.0,
+                      metavar="NS",
+                      help="drop merged blocking episodes shorter than "
+                           "NS (default 0 = keep all)")
+    p_cg.add_argument("--json", action="store_true",
+                      help="print the repro-congest/1 document as the "
+                           "last stdout line")
+    p_cg.add_argument("--html", default=None, metavar="OUT",
+                      help="write the standalone congestion X-ray HTML "
+                           "report to this path")
+    p_cg.add_argument("--prom", default=None, metavar="OUT",
+                      help="write the congestion.* Prometheus text "
+                           "exposition to this path")
+
     from repro.observatory.trends import (
         DEFAULT_MAD_MULT,
         DEFAULT_MIN_POINTS,
@@ -1179,6 +1295,11 @@ def main(argv: list[str] | None = None) -> int:
     o_df.add_argument("--json", action="store_true",
                       help="print the repro-profile-diff/1 document "
                            "as one line instead of the table")
+    o_df.add_argument("--max-residual", type=float, default=None,
+                      metavar="NS",
+                      help="exit 1 when the diff's unattributed "
+                           "residual exceeds NS in magnitude (gates "
+                           "attribution quality in CI)")
 
     o_rp = obs_sub.add_parser(
         "report", parents=[_ledger_parent(), trend_common],
@@ -1205,6 +1326,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.command in ("monitor", "report"):
         return _run_monitor(args)
+    if args.command == "congest":
+        return _run_congest(args)
     if args.command == "obs":
         return _run_obs(args)
 

@@ -122,7 +122,16 @@ class Attribution:
             )
 
 
-def _hop_components(
+def payload_extra_ns(wire_bytes: int) -> float:
+    """Serialization latency beyond the header for a packet of
+    ``wire_bytes`` (virtual cut-through charges it once, at the first
+    link; the header's own wire time overlaps the adapter latency)."""
+    return max(
+        0.0, wire_bytes * 8.0 / TORUS_LINK_EFFECTIVE_GBPS - _HEADER_SER_NS
+    )
+
+
+def hop_components(
     hop: HopRecord,
     *,
     first_link: bool,
@@ -136,7 +145,10 @@ def _hop_components(
     The structural parts come from the calibrated latency model (the
     same arithmetic the transport charges); whatever measured time they
     do not explain is returned as ``UNATTRIBUTED`` so the decomposition
-    still tiles the measured interval exactly.
+    still tiles the measured interval exactly.  Shared by
+    :func:`attribute_path` and the congestion X-ray's per-packet delay
+    decomposition (:mod:`repro.congestion.decompose`), so the two views
+    can never disagree on the calibrated arithmetic.
     """
     parts: list[tuple[Component, float, str]] = []
     measured = segment_end_ns - hop.grant_ns
@@ -175,6 +187,10 @@ def _hop_components(
     return parts
 
 
+#: Backward-compatible alias (the helper predates its public API).
+_hop_components = hop_components
+
+
 def attribute_path(
     flight: PacketFlight,
     hops: Sequence[HopRecord],
@@ -199,8 +215,7 @@ def attribute_path(
                         flight.src_client)
         )
         cursor = flight.inject_ns
-    payload_extra = max(0.0, flight.wire_bytes * 8.0 / TORUS_LINK_EFFECTIVE_GBPS
-                        - _HEADER_SER_NS)
+    payload_extra = payload_extra_ns(flight.wire_bytes)
     if not hops:
         # Intra-node delivery: source ring only (the message is
         # delivered on the way around the on-chip ring).

@@ -1,0 +1,38 @@
+"""Congestion X-ray: queue telemetry, delay decomposition, attribution.
+
+Three layers over the network's head-of-line queues:
+
+* :mod:`repro.congestion.recorder` — zero-perturbation event hooks
+  that sample per-link-direction queue depth and occupancy into
+  fixed-capacity ring buffers (off by default, ambient like the
+  flight recorder);
+* :mod:`repro.congestion.decompose` — per-packet queueing-delay
+  decomposition that tiles each delivery's end-to-end latency exactly
+  into serialization / wire / HOL wait / retry / through-node /
+  endpoint segments with an explicit UNATTRIBUTED residual;
+* :mod:`repro.congestion.tree` — the backpressure congestion tree
+  (which upstream links feed waits into which bottleneck) and
+  sustained HOL-blocking episodes.
+
+Rendering lives in :mod:`repro.congestion.report`; CLI capture in
+:mod:`repro.congestion.capture` (kept out of this namespace so the
+package stays import-cycle-free, like :mod:`repro.trace`).
+"""
+
+from repro.congestion.recorder import (
+    NULL_CONGESTION,
+    CongestionRecorder,
+    NullCongestionRecorder,
+    active_congestion,
+    direction_label,
+    use_congestion,
+)
+
+__all__ = [
+    "NULL_CONGESTION",
+    "CongestionRecorder",
+    "NullCongestionRecorder",
+    "active_congestion",
+    "direction_label",
+    "use_congestion",
+]

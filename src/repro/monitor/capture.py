@@ -74,8 +74,24 @@ class MonitorCapture:
         """True when every machine's verdict is free of errors."""
         return all(v.healthy for v in self.verdicts)
 
+    def congestion_tree(self):
+        """The run's backpressure congestion tree, when the flight
+        recorder rode along (``None`` for untraced runs like mdstep)."""
+        if self.result is None or self.result.flight is None:
+            return None
+        from repro.congestion.tree import build_congestion_tree
+        from repro.topology.torus import Torus3D
+
+        return build_congestion_tree(
+            self.result.flight, Torus3D(*self.shape)
+        )
+
     def html(self, title: str = "Continuous health report") -> str:
         monitor = self.monitor
+        congestion = self.congestion_tree()
+        series = None
+        if self.result is not None and self.result.congestion is not None:
+            series = self.result.congestion.depth_series
         return render_html_report(
             self.verdict,
             monitor.sampler,
@@ -83,6 +99,8 @@ class MonitorCapture:
             registry=self.metrics,
             title=title,
             experiment=f"{self.experiment} — {self.description}",
+            congestion=congestion,
+            congestion_series=series,
         )
 
     def prometheus(self) -> str:
@@ -107,6 +125,7 @@ def run_monitored(
     flight: Optional[bool] = None,
     payload: int = 0,
     seed: int = 0,
+    congestion: bool = False,
 ) -> MonitorCapture:
     """Drive ``experiment`` with continuous monitoring attached.
 
@@ -115,8 +134,10 @@ def run_monitored(
     registry marks traceable — it feeds the per-packet latency
     histograms the sketch-vs-exact report compares — but not for
     ``mdstep``, whose per-packet record would dwarf the run.
-    Monitoring itself is passive either way: simulated results are
-    bit-identical with the monitor on or off.
+    ``congestion=True`` additionally attaches the congestion X-ray
+    recorder, whose queue-depth timelines feed the HTML report's
+    sparklines.  Monitoring itself is passive either way: simulated
+    results are bit-identical with the monitor on or off.
     """
     from repro.runner.spec import get_experiment
 
@@ -147,7 +168,9 @@ def run_monitored(
                 registry=metrics,
             )
         )
-        result = run_experiment(spec, flight=flight, registry=metrics)
+        result = run_experiment(
+            spec, flight=flight, registry=metrics, congestion=congestion
+        )
     if not session.monitors:
         raise RuntimeError(
             f"experiment {experiment!r} built no machines to monitor"

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.monitor.sampler import DEFAULT_INTERVAL_NS, TimeSeriesSampler
 from repro.monitor.watchdog import (
+    DEFAULT_QUEUE_LIMIT,
     CheckResult,
     DiagnosticLog,
     HealthVerdict,
@@ -59,6 +60,7 @@ class HealthMonitor:
         stall_ns: float = DEFAULT_STALL_NS,
         registry: "Optional[MetricsRegistry]" = None,
         log: Optional[DiagnosticLog] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
     ) -> None:
         self.sim = sim
         self.machine = machine
@@ -70,7 +72,9 @@ class HealthMonitor:
             capacity=series_capacity,
             slow_every=slow_every,
         )
-        self.watchdogs = InvariantWatchdogs(machine, self.log, stall_ns=stall_ns)
+        self.watchdogs = InvariantWatchdogs(
+            machine, self.log, stall_ns=stall_ns, queue_limit=queue_limit
+        )
         self._histories: list["EventHistory"] = []
         self._finalized = False
         self._register_probes()
@@ -133,9 +137,16 @@ class HealthMonitor:
         wd.check_packet_conservation(now)
         wd.check_stall(now)
         wd.check_faults(now)
-        if (self.sampler.ticks - 1) % self.sampler.slow_every == 0:
+        ticks = self.sampler.ticks - 1
+        if ticks % self.sampler.slow_every == 0:
             wd.check_sync_counters(now)
             wd.check_fifo_bounds(now)
+            # Queue peaks are monotone watermarks, so a violation can
+            # never slip between checks — scan on a sparser cadence
+            # than the other slow sweeps to keep always-on monitoring
+            # within its overhead budget (finalize rescans anyway).
+            if ticks % (self.sampler.slow_every * 8) == 0:
+                wd.check_queue_growth(now)
         return now + self.sampler.interval_ns
 
     def watch_event_history(self, history: "EventHistory") -> "EventHistory":
@@ -161,6 +172,7 @@ class HealthMonitor:
             wd.check_sync_counters(now, final=True)
             wd.check_fifo_bounds(now, final=True)
             wd.check_stall(now, final=True)
+            wd.check_queue_growth(now, final=True)
             wd.check_faults(now, final=True)
             self.sim.set_monitor_hook(self._prev_hook)
         return self.verdict()
@@ -187,6 +199,11 @@ class HealthMonitor:
         net = self.network
         checks = self.watchdogs.results()
         checks.append(self._telemetry_loss_check())
+        peaks: dict[str, int] = {}
+        for link in net.links():
+            tag = link.direction
+            if link.peak_queue_length > peaks.get(tag, 0):
+                peaks[tag] = link.peak_queue_length
         return HealthVerdict(
             checks=checks,
             sim_time_ns=self.sim.now,
@@ -198,6 +215,7 @@ class HealthMonitor:
             dropped_events=self.dropped_events,
             dropped_diagnostics=self.log.dropped,
             diagnostic_counts=dict(self.log.counts),
+            peak_queue_by_direction=peaks,
         )
 
 
@@ -244,7 +262,7 @@ def use_monitoring(**monitor_kwargs) -> Iterator[MonitorSession]:
 
     Keyword arguments are forwarded to :class:`HealthMonitor`
     (``interval_ns``, ``series_capacity``, ``slow_every``,
-    ``stall_ns``, ``registry``, ``log``).
+    ``stall_ns``, ``registry``, ``log``, ``queue_limit``).
     """
     global _ACTIVE_SESSION
     session = MonitorSession(**monitor_kwargs)

@@ -26,17 +26,17 @@ labels).
 from __future__ import annotations
 
 import html
-import math
 from typing import TYPE_CHECKING, Optional
 
 from repro.monitor.sampler import TimeSeriesSampler
 from repro.monitor.series import RingSeries
 from repro.monitor.watchdog import LEVELS, HealthVerdict
+from repro.report_common import CSS, fmt as _fmt, fmt_ns as _ns, stat_tiles
 from repro.trace.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.trace.sketch import QuantileSketch
 
 if TYPE_CHECKING:  # pragma: no cover
-    pass
+    from repro.congestion.tree import CongestionTree
 
 #: Link directions in fixed column order for the heatmap.
 DIRECTIONS = ("x+", "x-", "y+", "y-", "z+", "z-")
@@ -50,85 +50,9 @@ _STATUS = {
     "error": ("status-critical", "&#10007;", "fail"),
 }
 
-_CSS = """
-:root {
-  --surface: #fcfcfb; --panel: #f4f4f2; --border: #dededa;
-  --ink: #1a1a19; --ink-2: #5d5d5a; --ink-3: #8a8a86;
-  --accent: #2b58a8; --grid: #e7e7e3;
-  --good: #0ca30c; --warning: #b97e00; --critical: #d03b3b;
-}
-@media (prefers-color-scheme: dark) {
-  :root {
-    --surface: #1a1a19; --panel: #242422; --border: #3a3a37;
-    --ink: #f0f0ee; --ink-2: #b8b8b4; --ink-3: #8a8a86;
-    --accent: #7aa7ee; --grid: #32322f;
-    --good: #4fc26b; --warning: #fab219; --critical: #ec835a;
-  }
-}
-* { box-sizing: border-box; }
-body {
-  margin: 0 auto; padding: 24px; max-width: 1040px;
-  background: var(--surface); color: var(--ink);
-  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
-}
-h1 { font-size: 20px; margin: 0 0 4px; }
-h2 { font-size: 15px; margin: 28px 0 8px; }
-.subtitle { color: var(--ink-2); margin-bottom: 20px; }
-.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
-.tile {
-  background: var(--panel); border: 1px solid var(--border);
-  border-radius: 8px; padding: 10px 14px; min-width: 128px;
-}
-.tile .v { font-size: 20px; font-variant-numeric: tabular-nums; }
-.tile .k { color: var(--ink-2); font-size: 12px; }
-table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
-th, td { padding: 4px 10px; text-align: left; border-bottom: 1px solid var(--border); }
-th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
-td.num, th.num { text-align: right; }
-.status-good { color: var(--good); }
-.status-warning { color: var(--warning); }
-.status-critical { color: var(--critical); }
-.verdict-banner {
-  display: inline-block; padding: 4px 12px; border-radius: 6px;
-  border: 1px solid var(--border); background: var(--panel); font-weight: 600;
-}
-.heatmap td.cell {
-  width: 22px; height: 18px; padding: 0; border: 1px solid var(--surface);
-}
-.heatmap th { font-weight: 400; color: var(--ink-3); font-size: 11px; padding: 2px 4px; }
-.legend { color: var(--ink-2); font-size: 12px; margin-top: 6px; }
-.legend .swatch {
-  display: inline-block; width: 14px; height: 10px; margin: 0 1px;
-}
-details { margin: 8px 0 16px; }
-summary { color: var(--ink-2); cursor: pointer; font-size: 13px; }
-svg text { fill: var(--ink-2); font-size: 11px; }
-svg .gridline { stroke: var(--grid); stroke-width: 1; }
-svg .axis { stroke: var(--border); stroke-width: 1; }
-svg .series { stroke: var(--accent); stroke-width: 2; fill: none; }
-.note { color: var(--ink-2); font-size: 13px; }
-"""
-
-#: Public alias: the shared stylesheet every self-contained HTML
-#: artifact (health report, sweep dashboard, observatory) embeds.
-CSS = _CSS
-
-
-def _fmt(v: float, digits: int = 1) -> str:
-    """Compact number formatting for tables and tiles."""
-    if v != v or v in (math.inf, -math.inf):  # NaN / inf guards
-        return "-"
-    if float(v).is_integer() and abs(v) < 1e15:
-        return f"{int(v):,}"
-    return f"{v:,.{digits}f}"
-
-
-def _ns(v: float) -> str:
-    if v >= 1e6:
-        return f"{v / 1e6:,.2f} ms"
-    if v >= 1e3:
-        return f"{v / 1e3:,.2f} µs"
-    return f"{v:,.0f} ns"
+#: Backward-compatible alias for the stylesheet, which lives in
+#: :mod:`repro.report_common` now (shared by every HTML artifact).
+_CSS = CSS
 
 
 # ---------------------------------------------------------------------------
@@ -136,7 +60,7 @@ def _ns(v: float) -> str:
 # ---------------------------------------------------------------------------
 
 def _stat_tiles(verdict: HealthVerdict) -> str:
-    stats = [
+    return stat_tiles([
         ("simulated time", _ns(verdict.sim_time_ns)),
         ("packets injected", _fmt(verdict.packets_injected)),
         ("packets delivered", _fmt(verdict.packets_delivered)),
@@ -149,13 +73,7 @@ def _stat_tiles(verdict: HealthVerdict) -> str:
                 f"{verdict.diagnostic_counts.get(k, 0)} {k}" for k in LEVELS
             ),
         ),
-    ]
-    tiles = "".join(
-        f'<div class="tile"><div class="v">{html.escape(str(v))}</div>'
-        f'<div class="k">{html.escape(k)}</div></div>'
-        for k, v in stats
-    )
-    return f'<div class="tiles">{tiles}</div>'
+    ])
 
 
 def _verdict_table(verdict: HealthVerdict) -> str:
@@ -417,8 +335,19 @@ def render_html_report(
     registry: Optional[MetricsRegistry] = None,
     title: str = "Continuous health report",
     experiment: str = "",
+    congestion: "Optional[CongestionTree]" = None,
+    congestion_series: Optional[dict] = None,
 ) -> str:
-    """Render the full self-contained HTML health report."""
+    """Render the full self-contained HTML health report.
+
+    When the run carried the congestion X-ray, pass its
+    :class:`~repro.congestion.tree.CongestionTree` (and optionally the
+    congestion recorder's depth timelines) to append the congestion
+    section: occupancy sparklines per link direction, the
+    congestion-tree table, and the HOL-blocking episode list.
+    """
+    from repro.report_common import html_page
+
     nx, ny, nz = shape
     subtitle = (
         f"{nx}×{ny}×{nz} torus"
@@ -426,14 +355,8 @@ def render_html_report(
         + f" &middot; sampling interval {_ns(sampler.interval_ns)}"
         f" (per-link every {sampler.slow_every} ticks)"
     )
-    return (
-        "<!DOCTYPE html>\n"
-        '<html lang="en"><head><meta charset="utf-8">\n'
-        f"<title>{html.escape(title)}</title>\n"
-        f"<style>{_CSS}</style></head><body>\n"
-        f"<h1>{html.escape(title)}</h1>\n"
-        f'<p class="subtitle">{subtitle}</p>\n'
-        + _stat_tiles(verdict)
+    body = (
+        _stat_tiles(verdict)
         + "<h2>Health verdict</h2>\n"
         + _verdict_table(verdict)
         + "<h2>Link utilization (node &times; direction)</h2>\n"
@@ -441,8 +364,12 @@ def render_html_report(
         + "<h2>Percentiles: streaming sketch vs exact</h2>\n"
         + _percentile_table(registry)
         + _series_section(sampler)
-        + "</body></html>\n"
     )
+    if congestion is not None:
+        from repro.congestion.report import congestion_section
+
+        body += congestion_section(congestion, congestion_series)
+    return html_page(title, subtitle, body)
 
 
 # ---------------------------------------------------------------------------
@@ -595,6 +522,11 @@ def render_prometheus(
          "Last sampled value of every monitor time series.",
          [(prom_labels(series=s.name), s.last[1])
           for s in sampler if len(s)])
+    if verdict.peak_queue_by_direction:
+        emit("repro_link_peak_queue", "gauge",
+             "Deepest head-of-line queue observed per link direction.",
+             [(prom_labels(direction=d), depth)
+              for d, depth in sorted(verdict.peak_queue_by_direction.items())])
 
     out.registry(registry)
     return out.text()

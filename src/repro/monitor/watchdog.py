@@ -25,6 +25,13 @@ from typing import Any, Optional
 #: Diagnostic / check severity, in increasing order of badness.
 LEVELS = ("info", "warning", "error")
 
+#: Default bound on the deepest head-of-line queue any link direction
+#: may grow.  The real machine's channel buffers are tiny (packets are
+#: consumed at wire speed); a queue hundreds deep in the model means a
+#: workload is funnelling unboundedly into one direction — exactly the
+#: failure the congestion X-ray exists to attribute.
+DEFAULT_QUEUE_LIMIT = 1024
+
 _SEVERITY = {level: i for i, level in enumerate(LEVELS)}
 
 
@@ -134,6 +141,10 @@ class HealthVerdict:
     dropped_events: int
     dropped_diagnostics: int
     diagnostic_counts: dict[str, int]
+    #: Deepest head-of-line queue ever observed per link direction
+    #: (``z+``-style tag → packets), the backpressure fingerprint the
+    #: report and the Prometheus exposition surface.
+    peak_queue_by_direction: dict[str, int] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -169,6 +180,11 @@ class HealthVerdict:
             f"{self.dropped_events} events evicted; diagnostics "
             + ", ".join(f"{self.diagnostic_counts[k]} {k}" for k in LEVELS)
         )
+        if self.peak_queue_by_direction:
+            tail += "; peak queues " + ", ".join(
+                f"{d}={depth}"
+                for d, depth in sorted(self.peak_queue_by_direction.items())
+            )
         return table + "\n" + tail
 
 
@@ -192,19 +208,24 @@ class InvariantWatchdogs:
         machine,
         log: DiagnosticLog,
         stall_ns: float = 50_000.0,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
     ) -> None:
         if stall_ns <= 0:
             raise ValueError(f"stall_ns must be positive, got {stall_ns}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         self.machine = machine
         self.network = machine.network
         self.log = log
         self.stall_ns = stall_ns
+        self.queue_limit = queue_limit
         self._worst: dict[str, CheckResult] = {}
         names = [
             "packet_conservation",
             "sync_counter_consistency",
             "fifo_depth_bounds",
             "stall_detector",
+            "queue_growth",
         ]
         # The fault invariants exist only when a fault session is
         # attached, so fault-free verdicts keep their historical four
@@ -400,6 +421,40 @@ class InvariantWatchdogs:
                 f"(threshold {self.stall_ns:.0f} ns)",
                 in_flight=in_flight,
                 stalled_ns=stalled_for,
+            )
+
+    def check_queue_growth(self, now: float, final: bool = False) -> None:
+        """No link direction's head-of-line queue grows without bound.
+
+        A head-of-line queue deeper than ``queue_limit`` means a
+        workload funnels into one direction faster than it can ever
+        drain — a modelling or protocol bug, not ordinary contention.
+        The sweep reads each materialized link's monotone
+        ``peak_queue_length`` high watermark, so a transient spike
+        between ticks is still caught.
+        """
+        worst_depth = 0
+        worst = None
+        for link in self.network.links():
+            depth = link.channel.peak_queue_length
+            if depth > worst_depth:
+                worst_depth = depth
+                worst = link
+        worst_link = "" if worst is None else repr(worst.link_id)
+        if worst_depth > self.queue_limit:
+            self._report(
+                now, "queue_growth", "error",
+                f"head-of-line queue on {worst_link} reached "
+                f"{worst_depth} packet(s), above the bound of "
+                f"{self.queue_limit} (unbounded queue growth)",
+                link=worst_link,
+                peak=worst_depth,
+                limit=self.queue_limit,
+            )
+        elif final and self._worst["queue_growth"].ok:
+            self._worst["queue_growth"] = CheckResult(
+                "queue_growth", "ok",
+                f"deepest queue {worst_depth} of {self.queue_limit} allowed",
             )
 
     def check_faults(self, now: float, final: bool = False) -> None:

@@ -35,9 +35,13 @@ class LinkId:
     dim: str
     sign: int
 
+    @property
+    def direction(self) -> str:
+        """The ``z+``-style direction tag (dimension and sign)."""
+        return f"{self.dim}{'+' if self.sign > 0 else '-'}"
+
     def __repr__(self) -> str:
-        arrow = "+" if self.sign > 0 else "-"
-        return f"link({self.node}->{self.dim}{arrow})"
+        return f"link({self.node}->{self.direction})"
 
 
 class TorusLink:
@@ -52,6 +56,11 @@ class TorusLink:
         #: Link-level retransmissions charged to this direction by the
         #: fault-injection session (always 0 on a fault-free run).
         self.retransmissions = 0
+
+    @property
+    def direction(self) -> str:
+        """The ``z+``-style direction tag of this link direction."""
+        return self.link_id.direction
 
     def record(self, wire_bytes: int) -> None:
         """Account one packet's traffic on this link direction."""

@@ -70,6 +70,25 @@ class MulticastPattern:
                 out.add((node, client))
         return out
 
+    def links_traversed(self) -> list[tuple[NodeCoord, str, int]]:
+        """Every ``(node, dim, sign)`` link direction the tree crosses,
+        in deterministic (node-sorted) order — the per-link view the
+        congestion attribution joins against."""
+        return [
+            (node, dim, sign)
+            for node in sorted(self.entries)
+            for (dim, sign) in self.entries[node].forward
+        ]
+
+    def direction_fanout(self) -> dict[str, int]:
+        """How many tree edges leave along each ``z+``-style direction
+        (a quick fingerprint of where a pattern loads the torus)."""
+        fanout: dict[str, int] = {}
+        for _node, dim, sign in self.links_traversed():
+            tag = f"{dim}{'+' if sign > 0 else '-'}"
+            fanout[tag] = fanout.get(tag, 0) + 1
+        return fanout
+
 
 def compile_pattern(
     torus: Torus3D,

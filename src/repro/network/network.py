@@ -46,6 +46,11 @@ from repro.constants import (
     THROUGH_RING_NS,
     TORUS_LINK_EFFECTIVE_GBPS,
 )
+from repro.congestion.recorder import (
+    CongestionRecorder,
+    NullCongestionRecorder,
+    active_congestion,
+)
 from repro.engine.event import Event
 from repro.engine.simulator import Simulator
 from repro.faults.session import FaultSession, active_faults
@@ -86,6 +91,12 @@ class Network:
         (:func:`~repro.trace.flight.active_flight`), which is the
         zero-cost null recorder unless telemetry was switched on; the
         transport guards every hook behind ``flight.enabled``.
+    congestion:
+        Optional :class:`~repro.congestion.recorder.CongestionRecorder`
+        sampling per-link-direction queue depth and occupancy at every
+        contended hop.  Same ambient/null discipline as ``flight``:
+        defaults to :func:`~repro.congestion.recorder.active_congestion`
+        and every hook is guarded behind ``congestion.enabled``.
     """
 
     def __init__(
@@ -96,10 +107,14 @@ class Network:
         seed: int = 0,
         flight: "FlightRecorder | NullFlightRecorder | None" = None,
         faults: "FaultSession | None" = None,
+        congestion: "CongestionRecorder | NullCongestionRecorder | None" = None,
     ) -> None:
         self.sim = sim
         self.torus = torus
         self.flight = flight if flight is not None else active_flight()
+        self.congestion = (
+            congestion if congestion is not None else active_congestion()
+        )
         #: Fault-injection session (see :mod:`repro.faults`); defaults
         #: to the ambient session, which is ``None`` — and a disabled
         #: session is never consulted — so fault-free runs take the
@@ -312,6 +327,9 @@ class _UcastTransit:
             fl = net.flight
             if fl.enabled:
                 fl.hop_enqueued(self.packet, link, net.sim.now)
+            cg = net.congestion
+            if cg.enabled:
+                cg.hop_enqueued(self.packet, link, net.sim.now)
             req = link.channel.request()
             req.add_callback(lambda _ev, link=link, hop=hop: self._granted(link, hop))
 
@@ -323,6 +341,9 @@ class _UcastTransit:
         fl = net.flight
         if fl.enabled:
             fl.hop_granted(packet, link, net.sim.now)
+        cg = net.congestion
+        if cg.enabled:
+            cg.hop_granted(packet, link, net.sim.now)
         fa = net.faults
         if fa is None:
             net.sim.schedule(packet.serialization_ns, link.channel.release)
@@ -457,6 +478,9 @@ class _McastTransit:
             fl = net.flight
             if fl.enabled:
                 fl.hop_enqueued(self.packet, link, net.sim.now)
+            cg = net.congestion
+            if cg.enabled:
+                cg.hop_enqueued(self.packet, link, net.sim.now)
             req = link.channel.request()
             req.add_callback(
                 lambda _ev, node=node, dim=dim, sign=sign, link=link,
@@ -499,6 +523,9 @@ class _McastTransit:
         fl = net.flight
         if fl.enabled:
             fl.hop_granted(packet, link, net.sim.now)
+        cg = net.congestion
+        if cg.enabled:
+            cg.hop_granted(packet, link, net.sim.now)
         nxt = net.torus.neighbor(node, dim, sign)
         fa = net.faults
         if fa is None:

@@ -456,6 +456,37 @@ def log_profile(ledger: Ledger, result: "RunResult") -> LedgerRecord:
     )
 
 
+def log_congest(ledger: Ledger, result: "RunResult", tree) -> LedgerRecord:
+    """Append a congestion X-ray: the headline backpressure scalars as
+    rows (so ``repro obs trends`` watches HOL-wait regressions over
+    time) and the full congestion tree as an attachment."""
+    config = result.spec.to_dict()
+    worst = tree.worst
+    rows = [
+        BenchResult("congest", "hol_wait_total_ns", tree.total_wait_ns,
+                    "ns", "lower", config),
+        BenchResult("congest", "worst_link_wait_ns",
+                    worst.wait_ns if worst is not None else 0.0,
+                    "ns", "lower", config),
+        BenchResult("congest", "contended_links", len(tree.links),
+                    "links", "lower", config),
+        BenchResult("congest", "contended_hops", tree.contended_hops,
+                    "hops", "lower", config),
+        BenchResult("congest", "episodes", len(tree.episodes()),
+                    "episodes", "lower", config),
+        BenchResult("congest", "max_peak_queue",
+                    max((lc.peak_depth for lc in tree.links), default=0),
+                    "packets", "lower", config),
+    ]
+    return ledger.append(
+        kind="congest",
+        label=f"congest {result.spec.label()}",
+        metrics=[r.to_dict() for r in rows],
+        provenance=build_provenance(spec=result.spec, meta=result.meta),
+        attachments={"congestion": tree.to_doc(top=16)},
+    )
+
+
 def log_sweep(ledger: Ledger, report, label: str = "sweep") -> LedgerRecord:
     """Append a sweep: every completed point's measurements as rows
     plus the execution summary (cache hit rate, retries, wall time)."""

@@ -21,9 +21,10 @@ import html
 import math
 from typing import Optional
 
-from repro.monitor.report import CSS, PromText, _fmt, prom_labels
+from repro.monitor.report import PromText, prom_labels
 from repro.observatory.diff import RESIDUAL_LABEL, ProfileDiff
 from repro.observatory.trends import MetricSeries, TrendReport, TrendVerdict
+from repro.report_common import fmt as _fmt, html_page, sparkline, stat_tiles
 
 _STATUS = {
     "ok": ("status-good", "&#10003;", "ok"),
@@ -32,11 +33,8 @@ _STATUS = {
     "insufficient": ("status-warning", "&#8230;", "insufficient history"),
 }
 
-#: Extra rules on top of the shared monitor stylesheet.
+#: Extra rules on top of the shared stylesheet.
 _OBS_CSS = """
-.spark { vertical-align: middle; }
-.spark .series { stroke-width: 1.5; }
-.spark .latest { fill: var(--accent); }
 .metric-name { font-weight: 600; }
 .mono { font-variant-numeric: tabular-nums; }
 td.neg { color: var(--good); }
@@ -47,37 +45,8 @@ td.pos { color: var(--critical); }
 def _sparkline(
     series: MetricSeries, width: int = 160, height: int = 36
 ) -> str:
-    """A minimal inline-SVG trajectory: the line plus a dot on the
-    latest point.  The adjacent table cells carry the numbers, so the
-    sparkline needs no axes."""
-    values = series.values
-    if len(values) < 2:
-        return '<span class="note">-</span>'
-    pad = 4
-    v0, v1 = min(values), max(values)
-    if v1 == v0:
-        v1 = v0 + 1.0
-    n = len(values)
-
-    def x(i: int) -> float:
-        return pad + i / (n - 1) * (width - 2 * pad)
-
-    def y(v: float) -> float:
-        return pad + (1.0 - (v - v0) / (v1 - v0)) * (height - 2 * pad)
-
-    pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
-    label = html.escape(
-        f"{series.name}: {n} points, min {v0:g}, max {v1:g}"
-    )
-    return (
-        f'<svg class="spark" viewBox="0 0 {width} {height}" '
-        f'width="{width}" height="{height}" role="img" '
-        f'aria-label="{label}">'
-        f'<polyline class="series" points="{pts}"/>'
-        f'<circle class="latest" cx="{x(n - 1):.1f}" '
-        f'cy="{y(values[-1]):.1f}" r="2.5"/>'
-        "</svg>"
-    )
+    """The shared sparkline over one metric series' trajectory."""
+    return sparkline(series.name, series.values, width, height)
 
 
 def _pct(worsening: float) -> str:
@@ -97,12 +66,7 @@ def _tiles(report: TrendReport, records: int, latest: Optional[dict]) -> str:
         for key in ("git_rev", "hostname", "source_fingerprint"):
             if latest.get(key):
                 stats.append((key.replace("_", " "), str(latest[key])))
-    tiles = "".join(
-        f'<div class="tile"><div class="v">{html.escape(str(v))}</div>'
-        f'<div class="k">{html.escape(k)}</div></div>'
-        for k, v in stats
-    )
-    return f'<div class="tiles">{tiles}</div>'
+    return stat_tiles(stats)
 
 
 def _trend_rows(report: TrendReport) -> str:
@@ -222,14 +186,8 @@ def render_observatory_html(
     subtitle = (
         html.escape(source) if source else "run ledger"
     ) + f" &middot; {len(report.verdicts)} metric series"
-    return (
-        "<!DOCTYPE html>\n"
-        '<html lang="en"><head><meta charset="utf-8">\n'
-        f"<title>{html.escape(title)}</title>\n"
-        f"<style>{CSS}{_OBS_CSS}</style></head><body>\n"
-        f"<h1>{html.escape(title)}</h1>\n"
-        f'<p class="subtitle">{subtitle}</p>\n'
-        + _tiles(report, records, latest_provenance)
+    body = (
+        _tiles(report, records, latest_provenance)
         + f'<p><span class="verdict-banner {cls}">{icon} {label}'
         "</span></p>\n"
         "<h2>Metric trajectories</h2>\n"
@@ -240,8 +198,8 @@ def render_observatory_html(
         "<th>status</th></tr></thead>"
         f"<tbody>{_trend_rows(report)}</tbody></table>\n"
         + (_diff_section(diff) if diff is not None else "")
-        + "</body></html>\n"
     )
+    return html_page(title, subtitle, body, extra_css=_OBS_CSS)
 
 
 def render_observatory_prometheus(report: TrendReport) -> str:

@@ -1,0 +1,208 @@
+"""Shared HTML scaffolding for the self-contained report artifacts.
+
+The health report (:mod:`repro.monitor.report`), the observatory
+dashboard (:mod:`repro.observatory.report`), the sweep dashboard, and
+the congestion X-ray all emit single-file HTML with no external
+assets.  The pieces they previously duplicated live here — the
+stylesheet (light and dark from one palette via
+``prefers-color-scheme``), compact number formatting, stat tiles, the
+inline-SVG sparkline, and generic table renderers — so every artifact
+looks, aligns, and escapes identically.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Iterable, Sequence
+
+#: The shared stylesheet every self-contained HTML artifact embeds.
+CSS = """
+:root {
+  --surface: #fcfcfb; --panel: #f4f4f2; --border: #dededa;
+  --ink: #1a1a19; --ink-2: #5d5d5a; --ink-3: #8a8a86;
+  --accent: #2b58a8; --grid: #e7e7e3;
+  --good: #0ca30c; --warning: #b97e00; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --panel: #242422; --border: #3a3a37;
+    --ink: #f0f0ee; --ink-2: #b8b8b4; --ink-3: #8a8a86;
+    --accent: #7aa7ee; --grid: #32322f;
+    --good: #4fc26b; --warning: #fab219; --critical: #ec835a;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 1040px;
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.subtitle { color: var(--ink-2); margin-bottom: 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--panel); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 128px;
+}
+.tile .v { font-size: 20px; font-variant-numeric: tabular-nums; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
+th, td { padding: 4px 10px; text-align: left; border-bottom: 1px solid var(--border); }
+th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
+td.num, th.num { text-align: right; }
+.status-good { color: var(--good); }
+.status-warning { color: var(--warning); }
+.status-critical { color: var(--critical); }
+.verdict-banner {
+  display: inline-block; padding: 4px 12px; border-radius: 6px;
+  border: 1px solid var(--border); background: var(--panel); font-weight: 600;
+}
+.heatmap td.cell {
+  width: 22px; height: 18px; padding: 0; border: 1px solid var(--surface);
+}
+.heatmap th { font-weight: 400; color: var(--ink-3); font-size: 11px; padding: 2px 4px; }
+.legend { color: var(--ink-2); font-size: 12px; margin-top: 6px; }
+.legend .swatch {
+  display: inline-block; width: 14px; height: 10px; margin: 0 1px;
+}
+details { margin: 8px 0 16px; }
+summary { color: var(--ink-2); cursor: pointer; font-size: 13px; }
+svg text { fill: var(--ink-2); font-size: 11px; }
+svg .gridline { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--border); stroke-width: 1; }
+svg .series { stroke: var(--accent); stroke-width: 2; fill: none; }
+.note { color: var(--ink-2); font-size: 13px; }
+.spark { vertical-align: middle; }
+.spark .series { stroke-width: 1.5; }
+.spark .latest { fill: var(--accent); }
+"""
+
+
+def fmt(v: float, digits: int = 1) -> str:
+    """Compact number formatting for tables and tiles."""
+    if v != v or v in (math.inf, -math.inf):  # NaN / inf guards
+        return "-"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return f"{int(v):,}"
+    return f"{v:,.{digits}f}"
+
+
+def fmt_ns(v: float) -> str:
+    if v >= 1e6:
+        return f"{v / 1e6:,.2f} ms"
+    if v >= 1e3:
+        return f"{v / 1e3:,.2f} µs"
+    return f"{v:,.0f} ns"
+
+
+def stat_tiles(stats: Iterable[tuple[str, object]]) -> str:
+    """The headline-number tile strip: ``(label, value)`` pairs."""
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{html.escape(str(v))}</div>'
+        f'<div class="k">{html.escape(k)}</div></div>'
+        for k, v in stats
+    )
+    return f'<div class="tiles">{tiles}</div>'
+
+
+def sparkline(
+    name: str,
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 36,
+) -> str:
+    """A minimal inline-SVG trajectory: the line plus a dot on the
+    latest point.  The adjacent table cells carry the numbers, so the
+    sparkline needs no axes."""
+    if len(values) < 2:
+        return '<span class="note">-</span>'
+    pad = 4
+    v0, v1 = min(values), max(values)
+    if v1 == v0:
+        v1 = v0 + 1.0
+    n = len(values)
+
+    def x(i: int) -> float:
+        return pad + i / (n - 1) * (width - 2 * pad)
+
+    def y(v: float) -> float:
+        return pad + (1.0 - (v - v0) / (v1 - v0)) * (height - 2 * pad)
+
+    pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
+    label = html.escape(f"{name}: {n} points, min {v0:g}, max {v1:g}")
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="{label}">'
+        f'<polyline class="series" points="{pts}"/>'
+        f'<circle class="latest" cx="{x(n - 1):.1f}" '
+        f'cy="{y(values[-1]):.1f}" r="2.5"/>'
+        "</svg>"
+    )
+
+
+def html_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    num: Iterable[int] = (),
+) -> str:
+    """A plain table; column indices in ``num`` are right-aligned.
+
+    Cell values are escaped here, so pass plain strings/numbers.
+    """
+    numeric = set(num)
+
+    def th(i: int, h: str) -> str:
+        cls = ' class="num"' if i in numeric else ""
+        return f"<th{cls}>{html.escape(h)}</th>"
+
+    def td(i: int, v: object) -> str:
+        cls = ' class="num"' if i in numeric else ""
+        return f"<td{cls}>{html.escape(str(v))}</td>"
+
+    head = "".join(th(i, h) for i, h in enumerate(headers))
+    body = "".join(
+        "<tr>" + "".join(td(i, v) for i, v in enumerate(row)) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def details_table(
+    summary: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    num: Iterable[int] = (),
+) -> str:
+    """A collapsed ``<details>`` wrapper around :func:`html_table` (the
+    accessible table view behind every chart)."""
+    return (
+        f"<details><summary>{html.escape(summary)}</summary>"
+        + html_table(headers, rows, num)
+        + "</details>"
+    )
+
+
+def html_page(
+    title: str,
+    subtitle: str,
+    body: str,
+    extra_css: str = "",
+) -> str:
+    """One self-contained HTML document around pre-rendered ``body``
+    (``subtitle`` may carry markup; escape it at the call site)."""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{CSS}{extra_css}</style></head><body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f'<p class="subtitle">{subtitle}</p>\n'
+        + body
+        + "</body></html>\n"
+    )

@@ -178,11 +178,15 @@ def _congestion(spec: ExperimentSpec) -> Outcome:
     machine = build_machine(sim, *spec.shape)
     target = machine.torus.coord((0, 0, 0))
     dst = machine.node(target).slice(0)
+    # Fan-in width rides along as a spec extra so the congest CLI can
+    # widen the incast (e.g. the full 26-to-1 on a 3x3x3) without
+    # perturbing the cached default-8 results.
+    fan_in = max(1, int(spec.extra("senders", 8)))
     senders = [
         machine.node(c).slice(0)
         for c in machine.torus.nodes()
         if c != target
-    ][:8]
+    ][:fan_in]
     dst.memory.allocate("sink", len(senders))
 
     def sender(s, slot):

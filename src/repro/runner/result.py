@@ -27,6 +27,7 @@ from repro.runner.spec import ExperimentSpec, get_experiment
 from repro.trace.metrics import MetricsRegistry, use_registry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.congestion.recorder import CongestionRecorder
     from repro.profile.profiler import EngineProfiler
     from repro.trace.flight import FlightRecorder
 
@@ -113,6 +114,12 @@ class RunResult:
     profile: "Optional[EngineProfiler]" = field(
         default=None, repr=False, compare=False
     )
+    #: The live :class:`~repro.congestion.recorder.CongestionRecorder`
+    #: when the run carried the congestion X-ray
+    #: (``run_experiment(..., congestion=True)``).
+    congestion: "Optional[CongestionRecorder]" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def experiment(self) -> str:
@@ -180,6 +187,7 @@ def run_experiment(
     flight: bool = False,
     registry: Optional[MetricsRegistry] = None,
     profile: bool = False,
+    congestion: bool = False,
 ) -> RunResult:
     """Execute one spec through the registry and wrap the outcome.
 
@@ -190,7 +198,9 @@ def run_experiment(
     ``flight=True`` additionally attaches a flight recorder (the trace
     pipeline's mode); ``profile=True`` attaches the engine
     self-profiler to every simulator the experiment builds and hands
-    the live profiler back on ``result.profile``.
+    the live profiler back on ``result.profile``; ``congestion=True``
+    attaches the congestion X-ray recorder (per-link-direction queue
+    timelines) and hands it back on ``result.congestion``.
 
     Every run also gets wall-clock execution facts on ``result.meta``
     (events/sec, peak RSS, wall seconds) — observed from outside the
@@ -205,6 +215,7 @@ def run_experiment(
     random.seed(spec.derived_seed())
     recorder = None
     profiler = None
+    congestion_recorder = None
     sims: list = []
     hook = add_new_sim_hook(sims.append)
     try:
@@ -215,6 +226,21 @@ def run_experiment(
 
                 recorder = FlightRecorder(metrics=registry)
                 stack.enter_context(use_flight(recorder))
+            if congestion:
+                from repro.congestion.recorder import (
+                    CongestionRecorder,
+                    use_congestion,
+                )
+
+                # congestion.* metrics flow only into a caller-supplied
+                # registry (the monitor's Prometheus path); the
+                # run-owned registry serializes into the cacheable
+                # snapshot, which must stay byte-identical with the
+                # X-ray on or off.
+                congestion_recorder = CongestionRecorder(
+                    metrics=None if own_registry else registry
+                )
+                stack.enter_context(use_congestion(congestion_recorder))
             if profile:
                 from repro.profile.profiler import use_profiling
 
@@ -249,6 +275,7 @@ def run_experiment(
         flight=recorder,
         meta=meta,
         profile=profiler,
+        congestion=congestion_recorder,
     )
 
 

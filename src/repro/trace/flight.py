@@ -74,6 +74,11 @@ class HopRecord:
     def occupancy_ns(self) -> float:
         return self.release_ns - self.grant_ns
 
+    @property
+    def direction(self) -> str:
+        """The ``z+``-style direction tag of the traversed link."""
+        return f"{self.dim}{'+' if self.sign > 0 else '-'}"
+
 
 @dataclass(slots=True)
 class Delivery:

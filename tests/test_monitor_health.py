@@ -22,6 +22,7 @@ EXPECTED_CHECKS = {
     "sync_counter_consistency",
     "fifo_depth_bounds",
     "stall_detector",
+    "queue_growth",
     "telemetry_loss",
 }
 

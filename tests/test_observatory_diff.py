@@ -244,6 +244,24 @@ class TestCli:
         assert doc["schema"] == "repro-profile-diff/1"
         assert doc["delta_loop_wall_ns"] == 800
 
+    def test_obs_diff_max_residual_gate(self, tmp_path, capsys):
+        # Loop-wall delta the rows cannot explain → residual 3.9 ms;
+        # the gate passes a loose budget and exits 1 on a tight one.
+        a = self._write_wall(tmp_path / "a.json",
+                             {("p", "a", "x"): (1, 100_000)},
+                             loop=1_000_000)
+        b = self._write_wall(tmp_path / "b.json",
+                             {("p", "a", "x"): (1, 200_000)},
+                             loop=5_000_000)
+        assert main(["obs", "diff", a, b,
+                     "--max-residual", "4000000"]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "diff", a, b, "--max-residual", "1000"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "RESIDUAL GATE FAILED" in captured.err
+        assert "3900000" in captured.err
+
     def test_obs_diff_text(self, tmp_path, capsys):
         a = self._write_wall(tmp_path / "a.json",
                              {("p", "router", "hop"): (10, 1000)})

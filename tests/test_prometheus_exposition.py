@@ -200,6 +200,80 @@ class TestSweepExposition:
         )
 
 
+class TestCongestionExposition:
+    """The congestion X-ray's labeled exposition parses with the same
+    strict parser, and the direction labels round-trip."""
+
+    @pytest.fixture(scope="class")
+    def incast_exposition(self):
+        from repro.congestion.capture import run_congested
+        from repro.congestion.report import render_congestion_prometheus
+        from repro.congestion.tree import build_congestion_tree
+        from repro.topology.torus import Torus3D
+
+        result = run_congested(
+            "congestion", shape=(3, 3, 3), rounds=1, senders=26,
+        )
+        tree = build_congestion_tree(result.flight, Torus3D(3, 3, 3))
+        text = render_congestion_prometheus(tree, result.congestion)
+        return tree, parse_exposition(text)
+
+    def test_families_declared_and_typed(self, incast_exposition):
+        _tree, families = incast_exposition
+        assert families["repro_congestion_hol_wait_ns"]["type"] == "counter"
+        assert families["repro_congestion_waits"]["type"] == "counter"
+        assert families["repro_congestion_peak_queue"]["type"] == "gauge"
+        assert families["repro_congestion_total_hol_wait_ns"]["type"] == (
+            "counter"
+        )
+        assert families["repro_congestion_contended_links"]["type"] == "gauge"
+        for fam in families.values():
+            assert fam["help"]
+
+    def test_direction_labels_round_trip(self, incast_exposition):
+        tree, families = incast_exposition
+        waits = families["repro_congestion_hol_wait_ns"]["samples"]
+        by_link = {s[1]["link"]: s[1]["direction"] for s in waits}
+        assert by_link == {lc.link: lc.direction for lc in tree.links}
+        # The incast's worst direction is present verbatim.
+        assert "z+" in by_link.values()
+        # Link names contain parens/arrows; every one survives the
+        # escape/parse round trip exactly.
+        for s in waits:
+            assert "->" in s[1]["link"]
+
+    def test_sample_values_match_tree(self, incast_exposition):
+        tree, families = incast_exposition
+        waits = {s[1]["link"]: s[2]
+                 for s in families["repro_congestion_hol_wait_ns"]["samples"]}
+        peaks = {s[1]["link"]: s[2]
+                 for s in families["repro_congestion_peak_queue"]["samples"]}
+        for lc in tree.links:
+            assert waits[lc.link] == pytest.approx(lc.wait_ns)
+            assert peaks[lc.link] == lc.peak_depth
+        total = families["repro_congestion_total_hol_wait_ns"]["samples"]
+        assert total[0][2] == pytest.approx(tree.total_wait_ns)
+
+    def test_peak_queue_by_direction_in_monitor_exposition(self):
+        # A contended run: the monitored incast queues on the
+        # destination's inbound links, so the per-direction peak-queue
+        # gauge appears and round-trips through the parser.
+        from repro.monitor.capture import run_monitored
+
+        capture = run_monitored("congestion", shape=(3, 3, 3), rounds=1)
+        verdict = capture.verdict
+        assert verdict.peak_queue_by_direction  # something queued
+        families = parse_exposition(capture.prometheus())
+        peaks = families["repro_link_peak_queue"]
+        assert peaks["type"] == "gauge"
+        directions = {s[1]["direction"] for s in peaks["samples"]}
+        assert directions == set(verdict.peak_queue_by_direction)
+        for _name, labels, value in peaks["samples"]:
+            assert value == verdict.peak_queue_by_direction[
+                labels["direction"]
+            ]
+
+
 class TestLabelEscaping:
     def test_backslash_quote_newline_escape(self):
         assert _prom_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
