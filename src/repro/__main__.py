@@ -72,7 +72,16 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
 
 
 class _DeprecatedAlias(argparse.Action):
-    """Accept an old spelling, warn once on stderr, store normally."""
+    """Accept an old spelling, emit a removal notice, store normally.
+
+    The old spellings (``--payload-bytes``, positional all-reduce
+    shapes) parse identically to their canonical replacements
+    (``--payload``, ``--shape``) but are on a removal timeline: each
+    use raises a :class:`DeprecationWarning` naming the replacement
+    (so test suites and ``-W error`` runs catch stragglers) and prints
+    the same notice to stderr (DeprecationWarnings are hidden by
+    default outside ``__main__``, and CLI users must still see it).
+    """
 
     def __init__(self, option_strings, dest, replacement="", **kwargs):
         kwargs.setdefault("help", argparse.SUPPRESS)
@@ -82,11 +91,14 @@ class _DeprecatedAlias(argparse.Action):
     def __call__(self, parser, namespace, values, option_string=None):
         if values in (None, []):
             return
+        import warnings
+
         name = option_string or self.metavar or self.dest
-        msg = f"warning: {name} is deprecated"
+        msg = f"{name} is deprecated and will be removed in a future release"
         if self._replacement:
-            msg += f"; use {self._replacement}"
-        print(msg, file=sys.stderr)
+            msg += f"; use {self._replacement} instead"
+        warnings.warn(msg, DeprecationWarning, stacklevel=2)
+        print(f"warning: {msg}", file=sys.stderr)
         setattr(namespace, self.dest, values)
 
 

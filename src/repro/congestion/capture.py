@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.runner.result import RunResult, run_experiment
+from repro.runner.result import Captures, RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, experiment_names
 
 #: Experiments the congest CLI can capture (same gate as the trace
@@ -53,4 +53,4 @@ def run_congested(
     )
     if senders is not None:
         spec = spec.with_extras(senders=int(senders))
-    return run_experiment(spec, flight=True, congestion=True)
+    return run_experiment(spec, Captures(flight=True, congestion=True))

@@ -25,6 +25,17 @@ Design notes
 from repro.engine.event import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.engine.process import Process
 from repro.engine.resource import Resource, Store
+from repro.engine.scheduler import (
+    DEFAULT_SCHEDULER,
+    SCHEDULER_NAMES,
+    HeapScheduler,
+    Scheduler,
+    TimeWheelScheduler,
+    engine_config,
+    make_scheduler,
+    resolve_scheduler,
+    use_scheduler,
+)
 from repro.engine.simulator import (
     EventHistory,
     Simulator,
@@ -35,14 +46,23 @@ from repro.engine.simulator import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DEFAULT_SCHEDULER",
     "Event",
     "EventHistory",
+    "HeapScheduler",
     "Interrupt",
     "Process",
     "Resource",
+    "SCHEDULER_NAMES",
+    "Scheduler",
     "Simulator",
     "Store",
+    "TimeWheelScheduler",
     "Timeout",
     "add_new_sim_hook",
+    "engine_config",
+    "make_scheduler",
     "remove_new_sim_hook",
+    "resolve_scheduler",
+    "use_scheduler",
 ]

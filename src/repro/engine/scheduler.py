@@ -1,0 +1,448 @@
+"""Pluggable event schedulers for the simulator core.
+
+The simulator's run loop used to hard-code a ``heapq`` of
+``(time, seq, fn, args)`` entries.  This module extracts that choice
+into a first-class :class:`Scheduler` interface with two built-in
+implementations:
+
+:class:`HeapScheduler`
+    The engine's historical scheduler, bit-for-bit: one binary heap of
+    entries ordered by ``(time, seq)``.  Batched schedules are expanded
+    into individual heap entries, which is exactly what the pre-batching
+    code paths did — this is the reference the equivalence property
+    suite measures everything against.
+
+:class:`TimeWheelScheduler`
+    A calendar queue tuned to this machine's workload.  Anton's latency
+    model draws every delay from a tiny discrete set (4/8/10 ns wire
+    hops, 19/25 ns ring traversals, fixed serialization times), so at
+    any instant the pending-event population clusters on very few
+    distinct timestamps.  The wheel keys a FIFO bucket on each *exact*
+    timestamp (a dict — ns-granularity bucketing degenerates to exact
+    keying because the delay set is discrete) and keeps the distinct
+    bucket times in a small overflow heap (the "horizon").  Draining a
+    bucket costs one heap operation per distinct *timestamp* instead of
+    one per *event*; same-time events — the mdstep barrier storms and
+    the 26-to-1 incast funnels — cost a list append and an index walk.
+
+Ordering contract (what makes results byte-identical): sequence numbers
+are allocated monotonically by the simulator at schedule time, so FIFO
+order within a bucket *is* ``(time, seq)`` order — the wheel never
+sorts, and never needs to.  Both schedulers therefore execute the exact
+same event permutation; the property suite in
+``tests/properties/test_scheduler_equivalence.py`` enforces it.
+
+Batched entries
+---------------
+:meth:`Scheduler.push_batch` schedules ``n`` callbacks that share one
+instant and occupy *consecutive* sequence numbers.  Because nothing can
+schedule in between their seqs, the batch may be stored as a single
+entry and drained in one tight loop — the run loop still performs
+per-callback bookkeeping (event count, hooks, crash and stop checks),
+so telemetry and verdicts are unchanged.  The heap expands batches
+(historical behavior); the wheel keeps them fused, which is where the
+hop-costs-one-event speedup comes from.
+
+Selection
+---------
+``Simulator(scheduler=...)`` accepts a name or an instance; ``None``
+resolves the ambient default: an active :func:`use_scheduler` context,
+else the ``REPRO_SCHEDULER`` environment variable, else
+:data:`DEFAULT_SCHEDULER`.  :func:`engine_config` reports the resolved
+configuration so run metadata, ledger provenance, and cache entries can
+record which scheduler produced a result.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+#: Sentinel stored in an entry's ``fn`` slot to mark a fused batch; the
+#: ``args`` slot then holds the sequence of ``(fn, args)`` pairs.  It
+#: can never collide with a real callable because identity, not
+#: equality, is tested.
+BATCH: Any = object()
+
+#: Sentinel for a run of single entries fused *at pop time* (wheel
+#: only): the ``args`` slot holds ``(entries, start, end)`` — a window
+#: into the live bucket list of ``(when, seq, fn, args)`` entries.
+#: Returning the window instead of copying into pairs keeps the drain
+#: allocation-free, which is most of the win on storms of independent
+#: same-tick singles (the dominant shape in mdstep: 93% of its events
+#: share their tick with others, but few arrive through the batch API).
+FUSED: Any = object()
+
+#: Minimum run length :meth:`TimeWheelScheduler.pop` will fuse.  Each
+#: fused window costs two fresh gc-tracked tuples, so fusing the tiny
+#: 2-3 entry runs that dominate timer-driven phases trades a cheap
+#: scheduler round-trip for allocation churn — measured on the 8x8x8
+#: mdstep run, it nearly doubled gen-0 collections and erased the
+#: wheel's win.  Storm-sized runs (the 26- and 256-wide fan-ins this
+#: engine exists for) amortize the window cost to nothing.
+FUSE_MIN = 4
+
+#: One scheduled callback of a batch: ``(fn, args)``.
+Pair = tuple[Callable[..., None], tuple]
+
+#: The ambient default when nothing selects a scheduler explicitly.
+#: The wheel is the production default — the property suite proves it
+#: byte-identical to the heap, and it is the fast path the ROADMAP
+#: asked for; ``REPRO_SCHEDULER=heap`` restores the reference engine.
+DEFAULT_SCHEDULER = "wheel"
+
+#: Environment override consulted when no ``use_scheduler`` context is
+#: active and ``Simulator(scheduler=None)``.
+ENV_VAR = "REPRO_SCHEDULER"
+
+#: Accepted spellings -> canonical scheduler name.
+_ALIASES = {
+    "heap": "heap",
+    "heapq": "heap",
+    "wheel": "wheel",
+    "timewheel": "wheel",
+    "time-wheel": "wheel",
+    "time_wheel": "wheel",
+    "calendar": "wheel",
+}
+
+SCHEDULER_NAMES = ("heap", "wheel")
+
+#: Stack of :func:`use_scheduler` overrides (innermost last).
+_AMBIENT: list[str] = []
+
+
+def canonical_scheduler_name(name: str) -> str:
+    """Normalize a scheduler spelling, raising on unknown names."""
+    key = str(name).strip().lower()
+    try:
+        return _ALIASES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES} "
+            f"(aliases: {sorted(_ALIASES)})"
+        ) from None
+
+
+def resolve_scheduler(name: Optional[str] = None) -> str:
+    """The canonical scheduler name selection resolves to.
+
+    Precedence: an explicit ``name`` > the innermost
+    :func:`use_scheduler` context > ``$REPRO_SCHEDULER`` >
+    :data:`DEFAULT_SCHEDULER`.
+    """
+    if name is not None:
+        return canonical_scheduler_name(name)
+    if _AMBIENT:
+        return _AMBIENT[-1]
+    env = os.environ.get(ENV_VAR)
+    if env is not None and env.strip():
+        return canonical_scheduler_name(env)
+    return DEFAULT_SCHEDULER
+
+
+@contextmanager
+def use_scheduler(name: str) -> Iterator[str]:
+    """Make ``name`` the ambient default scheduler within the block.
+
+    Affects every ``Simulator(scheduler=None)`` constructed inside —
+    the lever the equivalence suite and the paired benchmark use to run
+    one experiment under both engines without threading parameters
+    through the experiment registry.
+    """
+    canonical = canonical_scheduler_name(name)
+    _AMBIENT.append(canonical)
+    try:
+        yield canonical
+    finally:
+        _AMBIENT.remove(canonical)
+
+
+def engine_config() -> dict:
+    """The engine configuration ambient runs execute under — recorded
+    in ``RunResult.meta``, ledger provenance, and cache entry documents
+    (deliberately *outside* the cache key: the property suite proves
+    results byte-identical across schedulers, so a cached result is
+    valid under either)."""
+    return {"scheduler": resolve_scheduler()}
+
+
+def make_scheduler(spec: "Scheduler | str | None" = None) -> "Scheduler":
+    """Build (or pass through) a scheduler from a name/instance/None."""
+    if isinstance(spec, Scheduler):
+        return spec
+    name = resolve_scheduler(spec if isinstance(spec, str) else None)
+    if name == "heap":
+        return HeapScheduler()
+    return TimeWheelScheduler()
+
+
+class Scheduler:
+    """Interface the run loop drives; subclasses provide storage.
+
+    Entries are ``(when, seq, fn, args)`` tuples; a fused batch entry
+    carries :data:`BATCH` in the ``fn`` slot and its ``(fn, args)``
+    pairs in ``args``.  ``size`` is the *logical* number of pending
+    callbacks (batch members counted individually) — it backs
+    ``Simulator.pending``, which the health monitor probes, so both
+    implementations must agree on it exactly.
+    """
+
+    #: Canonical name, for provenance.
+    name = "abstract"
+
+    #: Logical pending-callback count (public attribute: the run loop
+    #: reads it every iteration).
+    size: int
+
+    def push(self, when: float, seq: int, fn: Callable[..., None],
+             args: tuple) -> None:
+        raise NotImplementedError
+
+    def push_batch(self, when: float, seq0: int,
+                   pairs: Sequence[Pair]) -> None:
+        """Schedule ``pairs`` at ``when`` under consecutive sequence
+        numbers ``seq0 .. seq0+len(pairs)-1`` (already allocated by the
+        simulator)."""
+        raise NotImplementedError
+
+    def pop(self) -> tuple:
+        """Remove and return the earliest entry (never called empty)."""
+        raise NotImplementedError
+
+    def peek_time(self) -> float:
+        """Earliest pending time (never called empty)."""
+        raise NotImplementedError
+
+    def requeue(self, when: float, seq: int, pairs: Sequence[Pair]) -> None:
+        """Put back the unexecuted tail of the batch returned by the
+        immediately preceding :meth:`pop` (the run loop stopped mid
+        batch — stop event triggered or a process crashed).  The tail
+        must run before every other entry pending at ``when``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class HeapScheduler(Scheduler):
+    """The historical engine: one binary heap ordered by ``(time, seq)``.
+
+    Batches are expanded into individual entries at push time — exactly
+    the event population the pre-batching code created — which makes
+    this the byte-identity reference and the baseline side of the
+    paired scheduler benchmark.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_q", "size")
+
+    def __init__(self) -> None:
+        self._q: list[tuple] = []
+        self.size = 0
+
+    def push(self, when: float, seq: int, fn: Callable[..., None],
+             args: tuple) -> None:
+        heappush(self._q, (when, seq, fn, args))
+        self.size += 1
+
+    def push_batch(self, when: float, seq0: int,
+                   pairs: Sequence[Pair]) -> None:
+        q = self._q
+        for i, (fn, args) in enumerate(pairs):
+            heappush(q, (when, seq0 + i, fn, args))
+        self.size += len(pairs)
+
+    def pop(self) -> tuple:
+        self.size -= 1
+        return heappop(self._q)
+
+    def peek_time(self) -> float:
+        return self._q[0][0]
+
+    def requeue(self, when: float, seq: int, pairs: Sequence[Pair]) -> None:
+        # The tail keeps its original (already-allocated) seqs, which
+        # precede every other pending seq at ``when``.
+        q = self._q
+        for i, (fn, args) in enumerate(pairs):
+            heappush(q, (when, seq + i, fn, args))
+        self.size += len(pairs)
+
+
+class TimeWheelScheduler(Scheduler):
+    """Calendar queue: exact-timestamp FIFO buckets + a horizon heap.
+
+    Invariants (the byte-identity argument):
+
+    * ``_buckets`` maps each pending timestamp to its entries in FIFO
+      order; appends happen in seq-allocation order, so bucket order
+      *is* ``(time, seq)`` order.  A lone entry is stored *bare* (the
+      tuple itself, no enclosing list) — the dominant shape in
+      timer-driven phases — and promoted to a list on the second
+      same-time push.  This keeps the singleton hot path as
+      allocation-lean as the raw heap (one gc-tracked tuple per event;
+      the list-per-timestamp variant doubled gen-0 collections on the
+      8x8x8 mdstep run).
+    * ``_horizon`` is a heap of the distinct bucket times not currently
+      draining; each time appears at most once.
+    * A *list* bucket being drained (``_cur`` at ``_cur_time``) stays
+      in the dict while it drains, so same-instant schedules issued
+      *by* its events (``schedule(0.0, ...)`` continuations, dispatch
+      fan-out) append behind the cursor and run in order.  It is
+      retired (deleted) only when the cursor finds it exhausted — by
+      which point the clock has moved on and nothing can schedule at
+      its time again.  A bucket re-created at the retired time between
+      runs is protected by the identity check in :meth:`_advance`.
+    * A *bare* bucket is deleted the moment it is mounted: it holds
+      exactly one pending entry, so a same-instant schedule issued by
+      that entry's callback simply re-creates the bucket (with a later
+      seq) and re-enters the horizon — order is preserved because
+      nothing else was pending at that time.
+
+    ``pop`` additionally *fuses* a run of same-bucket single entries
+    into one synthesized batch, so storms of distinct callbacks landing
+    on one tick (the incast funnel) are drained by the run loop's tight
+    inner loop instead of one scheduler round-trip per event.
+    """
+
+    name = "wheel"
+
+    __slots__ = ("_buckets", "_horizon", "_cur", "_cur_time", "_idx",
+                 "_fused", "size")
+
+    def __init__(self) -> None:
+        #: timestamp -> bare entry tuple (singleton) or FIFO list.
+        self._buckets: dict[float, object] = {}
+        self._horizon: list[float] = []
+        self._cur: Optional[list] = None
+        self._cur_time: float = 0.0
+        self._idx: int = 0
+        #: Bucket slots consumed by the most recent :meth:`pop` (1 for
+        #: a plain or pre-fused batch entry, ``k`` for ``k`` fused
+        #: singles) — what :meth:`requeue` rewinds over.
+        self._fused: int = 1
+        self.size = 0
+
+    def push(self, when: float, seq: int, fn: Callable[..., None],
+             args: tuple) -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = (when, seq, fn, args)
+            heappush(self._horizon, when)
+        elif type(bucket) is list:
+            bucket.append((when, seq, fn, args))
+        else:
+            self._buckets[when] = [bucket, (when, seq, fn, args)]
+        self.size += 1
+
+    def push_batch(self, when: float, seq0: int,
+                   pairs: Sequence[Pair]) -> None:
+        entry = (when, seq0, BATCH, pairs)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = entry
+            heappush(self._horizon, when)
+        elif type(bucket) is list:
+            bucket.append(entry)
+        else:
+            self._buckets[when] = [bucket, entry]
+        self.size += len(pairs)
+
+    def _advance(self):
+        """Retire the drained bucket and mount the earliest next one.
+
+        Returns the mounted list, or the entry itself for a bare
+        (singleton) bucket — which is unhooked from the dict right
+        here, so the caller must not touch the cursor for it.
+        """
+        cur = self._cur
+        if cur is not None and self._buckets.get(self._cur_time) is cur:
+            del self._buckets[self._cur_time]
+        when = heappop(self._horizon)
+        nxt = self._buckets[when]
+        if type(nxt) is not list:
+            del self._buckets[when]
+            self._cur = None
+            self._cur_time = when
+            return nxt
+        self._cur = nxt
+        self._cur_time = when
+        self._idx = 0
+        return nxt
+
+    def pop(self) -> tuple:
+        cur = self._cur
+        i = self._idx
+        if cur is None or i >= len(cur):
+            nxt = self._advance()
+            if type(nxt) is tuple:
+                # Bare singleton, already unhooked.
+                self._fused = 1
+                self.size -= (len(nxt[3]) if nxt[2] is BATCH else 1)
+                return nxt
+            cur = nxt
+            i = 0
+        entry = cur[i]
+        i += 1
+        if entry[2] is BATCH:
+            self._idx = i
+            self._fused = 1
+            self.size -= len(entry[3])
+            return entry
+        # Fuse the run of single entries ahead of the cursor: they all
+        # share this bucket's time, their seqs are already in order,
+        # and per-callback bookkeeping happens in the run loop either
+        # way — so draining them as one window is observably identical
+        # and skips a scheduler round-trip (and any copying) per event.
+        n = len(cur)
+        if i < n and cur[i][2] is not BATCH:
+            j = i + 1
+            while j < n and cur[j][2] is not BATCH:
+                j += 1
+            count = j - i + 1
+            if count >= FUSE_MIN:
+                self._idx = j
+                self._fused = count
+                self.size -= count
+                return (entry[0], entry[1], FUSED, (cur, i - 1, j))
+        self._idx = i
+        self._fused = 1
+        self.size -= 1
+        return entry
+
+    def peek_time(self) -> float:
+        cur = self._cur
+        if cur is not None and self._idx < len(cur):
+            return self._cur_time
+        return self._horizon[0]
+
+    def requeue(self, when: float, seq: int, pairs: Sequence[Pair]) -> None:
+        # Called only immediately after the pop that yielded the batch,
+        # so the cursor still points just past its slot(s).
+        if self._fused > 1:
+            # Fused singles still occupy their bucket slots; rewinding
+            # the cursor over the unexecuted ones restores them.
+            self._idx -= len(pairs)
+        elif self._cur is not None:
+            # A pre-fused batch occupied one list slot; overwrite it
+            # with the remainder and rewind one.
+            self._idx -= 1
+            self._cur[self._idx] = (when, seq, BATCH, tuple(pairs))
+        else:
+            # The batch came off a bare bucket (already unhooked).  The
+            # executed prefix may have scheduled new same-instant
+            # entries, re-creating the bucket — the tail's seqs precede
+            # theirs, so it goes in front.
+            entry = (when, seq, BATCH, tuple(pairs))
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = entry
+                heappush(self._horizon, when)
+            elif type(bucket) is list:
+                bucket.insert(0, entry)
+            else:
+                self._buckets[when] = [entry, bucket]
+        self.size += len(pairs)

@@ -28,7 +28,7 @@ from repro.monitor.health import (
 from repro.monitor.report import render_html_report, render_prometheus
 from repro.monitor.sampler import DEFAULT_INTERVAL_NS
 from repro.monitor.watchdog import HealthVerdict
-from repro.runner.result import RunResult, run_experiment
+from repro.runner.result import Captures, RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, experiment_names
 from repro.trace.metrics import MetricsRegistry
 
@@ -169,7 +169,8 @@ def run_monitored(
             )
         )
         result = run_experiment(
-            spec, flight=flight, registry=metrics, congestion=congestion
+            spec,
+            Captures(flight=flight, congestion=congestion, registry=metrics),
         )
     if not session.monitors:
         raise RuntimeError(

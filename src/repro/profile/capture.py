@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.runner.result import RunResult, run_experiment
+from repro.runner.result import Captures, RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, experiment_names
 
 #: Experiments the profile CLI can run (any registered experiment —
@@ -49,4 +49,4 @@ def run_profiled(
         seed=seed,
         hops=hops,
     )
-    return run_experiment(spec, profile=True)
+    return run_experiment(spec, Captures(profile=True))

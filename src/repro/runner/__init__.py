@@ -16,6 +16,7 @@ table now goes through:
 
 from repro.runner.cache import ResultCache, code_fingerprint, default_cache_dir
 from repro.runner.result import (
+    Captures,
     Measurement,
     Outcome,
     RunResult,
@@ -40,6 +41,7 @@ from repro.runner.sweep import (
 )
 
 __all__ = [
+    "Captures",
     "ExperimentDef",
     "ExperimentSpec",
     "Measurement",

@@ -110,13 +110,13 @@ class RunResult:
     #: workers ship it separately, via the telemetry stream.
     meta: dict = field(default_factory=dict, repr=False, compare=False)
     #: The live :class:`~repro.profile.profiler.EngineProfiler` when
-    #: the run was profiled (``run_experiment(..., profile=True)``).
+    #: the run was profiled (``Captures(profile=True)``).
     profile: "Optional[EngineProfiler]" = field(
         default=None, repr=False, compare=False
     )
     #: The live :class:`~repro.congestion.recorder.CongestionRecorder`
     #: when the run carried the congestion X-ray
-    #: (``run_experiment(..., congestion=True)``).
+    #: (``Captures(congestion=True)``).
     congestion: "Optional[CongestionRecorder]" = field(
         default=None, repr=False, compare=False
     )
@@ -181,32 +181,96 @@ class RunResult:
         )
 
 
+@dataclass(frozen=True)
+class Captures:
+    """Which live observers to attach to a run — the one bundle that
+    replaced ``run_experiment``'s grown-by-accretion boolean flags.
+
+    * ``flight`` — attach a :class:`~repro.trace.flight.FlightRecorder`
+      (per-packet causal spans); hands it back on ``result.flight``.
+    * ``profile`` — attach the engine self-profiler to every simulator
+      the experiment builds; hands it back on ``result.profile``.
+    * ``congestion`` — attach the congestion X-ray recorder
+      (per-link-direction queue timelines); back on
+      ``result.congestion``.
+    * ``registry`` — accumulate metrics into a caller-owned
+      :class:`~repro.trace.metrics.MetricsRegistry` instead of a fresh
+      run-owned one (the monitor's Prometheus path).
+
+    Frozen so a single instance can parameterize a whole sweep.  All
+    captures are passive: the serialized result core is byte-identical
+    with every combination on or off.
+    """
+
+    flight: bool = False
+    profile: bool = False
+    congestion: bool = False
+    registry: Optional[MetricsRegistry] = None
+
+    def __bool__(self) -> bool:
+        return (
+            self.flight or self.profile or self.congestion
+            or self.registry is not None
+        )
+
+
+_LEGACY_FLAGS_MSG = (
+    "run_experiment(flight=/registry=/profile=/congestion=) is deprecated; "
+    "pass captures=Captures(...) instead (see the runner migration note in "
+    "README.md)"
+)
+
+
 def run_experiment(
     spec: ExperimentSpec,
+    captures: Optional[Captures] = None,
     *,
-    flight: bool = False,
+    flight: Optional[bool] = None,
     registry: Optional[MetricsRegistry] = None,
-    profile: bool = False,
-    congestion: bool = False,
+    profile: Optional[bool] = None,
+    congestion: Optional[bool] = None,
 ) -> RunResult:
     """Execute one spec through the registry and wrap the outcome.
 
     The run is hermetic and deterministic: the ambient RNG is seeded
     from the spec's content (so stochastic components, if any, repeat
     bit-for-bit in any process), and a fresh metrics registry is
-    installed unless the caller passes one to accumulate into.
-    ``flight=True`` additionally attaches a flight recorder (the trace
-    pipeline's mode); ``profile=True`` attaches the engine
-    self-profiler to every simulator the experiment builds and hands
-    the live profiler back on ``result.profile``; ``congestion=True``
-    attaches the congestion X-ray recorder (per-link-direction queue
-    timelines) and hands it back on ``result.congestion``.
+    installed unless the caller supplies one to accumulate into.
+    ``captures`` selects the live observers to attach (flight
+    recorder, engine self-profiler, congestion X-ray, caller-owned
+    metrics registry) — see :class:`Captures`.
+
+    The keyword flags ``flight=``/``registry=``/``profile=``/
+    ``congestion=`` are deprecated shims for the pre-``Captures`` API:
+    they emit :class:`DeprecationWarning` and translate onto an
+    equivalent ``Captures`` (passing both forms is an error).
 
     Every run also gets wall-clock execution facts on ``result.meta``
-    (events/sec, peak RSS, wall seconds) — observed from outside the
-    simulation, never serialized with it.
+    (events/sec, peak RSS, wall seconds, the scheduler that ran it) —
+    observed from outside the simulation, never serialized with it.
     """
+    import warnings
+
     from repro.engine.simulator import add_new_sim_hook, remove_new_sim_hook
+
+    if (flight, registry, profile, congestion) != (None, None, None, None):
+        warnings.warn(_LEGACY_FLAGS_MSG, DeprecationWarning, stacklevel=2)
+        if captures is not None:
+            raise TypeError(
+                "pass either captures=Captures(...) or the legacy "
+                "flight=/registry=/profile=/congestion= flags, not both"
+            )
+        captures = Captures(
+            flight=bool(flight),
+            profile=bool(profile),
+            congestion=bool(congestion),
+            registry=registry,
+        )
+    caps = captures if captures is not None else Captures()
+    flight = caps.flight
+    profile = caps.profile
+    congestion = caps.congestion
+    registry = caps.registry
 
     defn = get_experiment(spec)
     own_registry = registry is None
@@ -255,6 +319,7 @@ def run_experiment(
             f"experiment {spec.experiment!r} returned {type(outcome)}, "
             "expected Outcome"
         )
+    from repro.engine.scheduler import resolve_scheduler
     from repro.profile.telemetry import peak_rss_bytes
 
     events_executed = sum(sim.events_executed for sim in sims)
@@ -264,6 +329,14 @@ def run_experiment(
         "events_executed": events_executed,
         "events_per_second": events_executed / wall_s if wall_s > 0 else 0.0,
         "peak_rss_bytes": peak_rss_bytes(),
+        # Engine provenance: which scheduler produced this run.  The
+        # schedulers are proven byte-equivalent, so this rides in meta
+        # (outside the cacheable core and the cache key) — recorded so
+        # ledger entries and sweep telemetry can attribute wall-clock
+        # deltas to the engine configuration that produced them.
+        "scheduler": (
+            sims[0].scheduler_name if sims else resolve_scheduler()
+        ),
     }
     return RunResult(
         spec=spec,

@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 from repro.bench.results import ResultSet, canonical_json
 from repro.monitor.watchdog import LEVELS, CheckResult, HealthVerdict
 from repro.runner.cache import ResultCache, atomic_write_json
-from repro.runner.result import RunResult, run_experiment
+from repro.runner.result import Captures, RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, get_experiment
 from repro.trace.metrics import MetricsRegistry, active_registry
 
@@ -750,7 +750,7 @@ def run_sweep(
             point.attempts = 1
             try:
                 point.result = run_experiment(
-                    point.spec, registry=run_registry
+                    point.spec, Captures(registry=run_registry)
                 )
             except Exception as exc:  # noqa: BLE001 — reported, not hidden
                 point.error = f"{type(exc).__name__}: {exc}"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.runner.result import RunResult, run_experiment
+from repro.runner.result import Captures, RunResult, run_experiment
 from repro.runner.spec import ExperimentSpec, experiment_names
 
 #: Experiments the trace CLI can capture (every registered experiment
@@ -49,4 +49,4 @@ def run_traced(
         seed=seed,
         hops=hops,
     )
-    return run_experiment(spec, flight=True)
+    return run_experiment(spec, Captures(flight=True))

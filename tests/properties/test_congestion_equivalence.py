@@ -5,7 +5,7 @@ buffers but schedules nothing, consumes no scheduling sequence
 numbers, and reads no state the transport did not already touch — so a
 congestion-instrumented run and a bare run of the same experiment must
 agree on *every* simulated observable, exactly.  One level up,
-``run_experiment(congestion=True)`` must leave serialized result bytes
+``run_experiment(Captures(congestion=True))`` must leave serialized result bytes
 untouched.  And whenever instrumentation is on, the per-packet delay
 decomposition must tile each delivery's end-to-end latency exactly —
 segment sums equal the flight recorder's measured latency with an
@@ -21,7 +21,7 @@ from repro.comm.collectives import AllReduce
 from repro.congestion.decompose import DelayBucket, decompose_run
 from repro.congestion.recorder import use_congestion
 from repro.engine import Simulator
-from repro.runner.result import run_experiment
+from repro.runner.result import Captures, run_experiment
 from repro.runner.spec import ExperimentSpec, ensure_registered
 from repro.topology.torus import Torus3D
 from tests.conftest import run_exchange
@@ -104,7 +104,7 @@ def test_run_result_bytes_identical_with_congestion(hops, payload, seed):
         hops=hops, payload=payload, seed=seed,
     )
     bare = run_experiment(spec)
-    instrumented = run_experiment(spec, congestion=True)
+    instrumented = run_experiment(spec, Captures(congestion=True))
     assert instrumented.congestion is not None
     assert instrumented.congestion.grants, "recorder saw no traffic"
     assert canonical_json(bare.to_dict()) == canonical_json(
@@ -126,7 +126,7 @@ def test_decomposition_tiles_every_packet_exactly(shape, payload, fan_in):
     spec = ExperimentSpec(
         "congestion", shape=shape, rounds=1, payload=payload, seed=0,
     ).with_extras(senders=fan_in)
-    result = run_experiment(spec, flight=True, congestion=True)
+    result = run_experiment(spec, Captures(flight=True, congestion=True))
     flight = result.flight
     decomps = decompose_run(flight, Torus3D(*shape))
     assert decomps, "incast delivered no packets"

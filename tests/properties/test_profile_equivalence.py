@@ -4,7 +4,7 @@ The profiler wraps event execution with wall-clock accounting but
 reads no simulated state, schedules nothing, and consumes no
 scheduling sequence numbers — so a profiled run and a bare run of the
 same experiment must agree on *every* simulated observable, exactly.
-The same holds one level up: ``run_experiment(profile=True)`` and the
+The same holds one level up: ``run_experiment(Captures(profile=True))`` and the
 sweep telemetry must leave serialized result/checkpoint bytes
 untouched (they live entirely outside the byte-stable payload).
 """
@@ -20,7 +20,7 @@ from repro.bench.results import canonical_json
 from repro.comm.collectives import AllReduce
 from repro.engine import Simulator
 from repro.profile import EngineProfiler, use_profiling
-from repro.runner.result import run_experiment
+from repro.runner.result import Captures, run_experiment
 from repro.runner.spec import ExperimentSpec, ensure_registered
 from repro.runner.sweep import run_sweep
 from tests.conftest import run_exchange
@@ -94,7 +94,7 @@ def test_run_result_bytes_identical_with_profile(hops, payload, seed):
         hops=hops, payload=payload, seed=seed,
     )
     bare = run_experiment(spec)
-    profiled = run_experiment(spec, profile=True)
+    profiled = run_experiment(spec, Captures(profile=True))
     assert profiled.profile is not None
     assert canonical_json(bare.to_dict()) == canonical_json(
         profiled.to_dict()

@@ -1,0 +1,186 @@
+"""Property tests for cross-scheduler byte-identity.
+
+The contract behind ``Simulator(scheduler=...)``: the bucketed time
+wheel is an *optimization*, never a semantic change.  Every observable
+byte of a run — serialized :class:`RunResult` documents, persisted
+sweep checkpoints, exported flight traces, rendered health verdicts —
+must be identical whether the heap or the time wheel dispatched the
+events, including runs with faults injected and captures attached.
+Mirrors ``test_fault_equivalence.py``: simulated times compare with
+``==``, persisted artifacts compare as raw bytes.
+"""
+
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asic import build_machine
+from repro.engine import Simulator, use_scheduler
+from repro.runner.result import Captures, run_experiment
+from repro.runner.spec import ExperimentSpec
+from repro.runner.sweep import expand_grid, run_sweep
+from tests.conftest import run_exchange
+
+GRID = expand_grid(
+    "latency",
+    {"shape": [(2, 2, 2), (3, 3, 3)], "hops": [0, 1]},
+)
+
+SCHEDULERS = ("heap", "wheel")
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _under_each(fn):
+    """Evaluate ``fn`` under both schedulers; return the two outputs."""
+    out = []
+    for name in SCHEDULERS:
+        with use_scheduler(name):
+            out.append(fn())
+    return out
+
+
+class TestEngineOrderEquivalence:
+    """The root property, straight on the engine: any mix of single
+    and batched schedules dispatches in the exact same order."""
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 64.0), st.integers(0, 9)),
+            min_size=1, max_size=50,
+        ),
+        st.integers(0, 7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dispatch_order_identical(self, entries, batch_every):
+        def run():
+            sim = Simulator()
+            seen = []
+            for i, (delay, tag) in enumerate(entries):
+                if batch_every and i % (batch_every + 1) == batch_every:
+                    sim.schedule_batch(
+                        delay,
+                        [(seen.append, ((delay, tag, k),)) for k in range(3)],
+                    )
+                else:
+                    sim.schedule(delay, seen.append, (delay, tag))
+            sim.run()
+            return seen, sim.now, sim.events_executed
+
+        heap, wheel = _under_each(run)
+        assert heap == wheel
+
+
+class TestRunResultBytes:
+    @given(
+        hops=st.integers(0, 3),
+        payload=st.sampled_from([0, 32, 256]),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_latency_bytes_identical(self, hops, payload, seed):
+        spec = ExperimentSpec(
+            "latency", shape=(3, 3, 3), hops=hops, payload=payload, seed=seed
+        )
+        heap, wheel = _under_each(lambda: _canon(run_experiment(spec)))
+        assert heap == wheel
+
+    @given(algorithm=st.sampled_from(["dimension_ordered", "butterfly"]))
+    @settings(max_examples=4, deadline=None)
+    def test_allreduce_bytes_identical(self, algorithm):
+        spec = ExperimentSpec(
+            "allreduce", shape=(4, 4, 4), payload=32,
+            extras=(("algorithm", algorithm),),
+        )
+        heap, wheel = _under_each(lambda: _canon(run_experiment(spec)))
+        assert heap == wheel
+
+    def test_incast_with_captures_bytes_identical(self):
+        """The 26-to-1 incast with flight + congestion X-ray attached —
+        captures on, exactly as the congest CLI runs it."""
+        spec = ExperimentSpec(
+            "congestion", shape=(3, 3, 3), payload=256, rounds=2,
+            extras=(("senders", 26),),
+        )
+        caps = Captures(flight=True, congestion=True)
+        heap, wheel = _under_each(lambda: _canon(run_experiment(spec, caps)))
+        assert heap == wheel
+
+    @given(ber=st.sampled_from([1e-6, 1e-4]))
+    @settings(max_examples=4, deadline=None)
+    def test_fault_plan_bytes_identical(self, ber):
+        """Fault injection (the stochastic subsystem) under both
+        schedulers: the derived-seed RNG must see the same event
+        stream, so even corrupted runs serialize identically."""
+        spec = ExperimentSpec(
+            "fault_sensitivity", shape=(3, 3, 3), rounds=2,
+            extras=(("ber", ber),),
+        )
+        heap, wheel = _under_each(lambda: _canon(run_experiment(spec)))
+        assert heap == wheel
+
+
+class TestSweepCheckpointBytes:
+    def test_sweep_results_and_points_byte_identical(self, tmp_path):
+        dirs = {name: str(tmp_path / name) for name in SCHEDULERS}
+        reports = {}
+        for name in SCHEDULERS:
+            with use_scheduler(name):
+                reports[name] = run_sweep(GRID, out_dir=dirs[name])
+        assert all(r.ok for r in reports.values())
+        heap_dir, wheel_dir = dirs["heap"], dirs["wheel"]
+        assert _read(os.path.join(heap_dir, "results.json")) == \
+            _read(os.path.join(wheel_dir, "results.json"))
+        for fname in sorted(os.listdir(os.path.join(heap_dir, "points"))):
+            assert _read(os.path.join(heap_dir, "points", fname)) == \
+                _read(os.path.join(wheel_dir, "points", fname))
+
+
+class TestExportedTraceBytes:
+    def _trace_bytes(self, tmp_path, tag):
+        from repro.trace.export import write_chrome_trace, write_jsonl
+        from repro.trace.flight import FlightRecorder, use_flight
+
+        sim = Simulator()
+        fl = FlightRecorder()
+        with use_flight(fl):
+            m = build_machine(sim, 2, 2, 2)
+        run_exchange(sim, m.node((0, 0, 0)).slice(0),
+                     m.node((1, 1, 0)).slice(0), payload_bytes=256)
+        jsonl = str(tmp_path / f"{tag}.jsonl")
+        chrome = str(tmp_path / f"{tag}.json")
+        write_jsonl(jsonl, fl)
+        write_chrome_trace(chrome, fl)
+        return _read(jsonl), _read(chrome)
+
+    def test_jsonl_and_chrome_bytes_identical(self, tmp_path):
+        heap, wheel = _under_each(
+            lambda: self._trace_bytes(tmp_path, "run")
+        )
+        assert heap == wheel
+
+
+class TestMonitorVerdicts:
+    def _verdict_text(self):
+        from repro.monitor.health import use_monitoring
+
+        sim = Simulator()
+        with use_monitoring() as mon:
+            m = build_machine(sim, 2, 2, 2)
+        run_exchange(sim, m.node((0, 0, 0)).slice(0),
+                     m.node((1, 1, 0)).slice(0))
+        [verdict] = mon.finalize()
+        return verdict.render_text()
+
+    def test_verdicts_render_identically(self):
+        heap, wheel = _under_each(self._verdict_text)
+        assert heap == wheel

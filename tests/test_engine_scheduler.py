@@ -1,0 +1,310 @@
+"""Unit tests for the pluggable scheduler subsystem."""
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_SCHEDULER,
+    SCHEDULER_NAMES,
+    HeapScheduler,
+    Simulator,
+    TimeWheelScheduler,
+    engine_config,
+    make_scheduler,
+    resolve_scheduler,
+    use_scheduler,
+)
+from repro.engine.scheduler import BATCH, FUSED, canonical_scheduler_name
+
+
+class TestSelection:
+    def test_default_is_wheel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert DEFAULT_SCHEDULER == "wheel"
+        assert resolve_scheduler() == "wheel"
+        assert isinstance(Simulator().scheduler, TimeWheelScheduler)
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("heap", "heap"), ("heapq", "heap"), ("HEAP", "heap"),
+        ("wheel", "wheel"), ("timewheel", "wheel"), ("time-wheel", "wheel"),
+        ("time_wheel", "wheel"), ("calendar", "wheel"),
+    ])
+    def test_aliases(self, alias, canonical):
+        assert canonical_scheduler_name(alias) == canonical
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            canonical_scheduler_name("fibonacci")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            Simulator(scheduler="fibonacci")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heapq")
+        assert resolve_scheduler() == "heap"
+        assert isinstance(Simulator().scheduler, HeapScheduler)
+
+    def test_use_scheduler_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "wheel")
+        with use_scheduler("heap") as name:
+            assert name == "heap"
+            assert resolve_scheduler() == "heap"
+            # ... but an explicit argument still wins over the context.
+            assert resolve_scheduler("wheel") == "wheel"
+            assert isinstance(Simulator().scheduler, HeapScheduler)
+        assert resolve_scheduler() == "wheel"
+
+    def test_use_scheduler_nests(self):
+        with use_scheduler("heap"):
+            with use_scheduler("wheel"):
+                assert resolve_scheduler() == "wheel"
+            assert resolve_scheduler() == "heap"
+
+    def test_engine_config_reports_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert engine_config() == {"scheduler": DEFAULT_SCHEDULER}
+        with use_scheduler("heap"):
+            assert engine_config() == {"scheduler": "heap"}
+
+    def test_make_scheduler_passthrough_and_names(self):
+        sched = HeapScheduler()
+        assert make_scheduler(sched) is sched
+        assert make_scheduler("heap").name == "heap"
+        assert make_scheduler("calendar").name == "wheel"
+        assert set(SCHEDULER_NAMES) == {"heap", "wheel"}
+
+    def test_simulator_records_scheduler_name(self):
+        assert Simulator(scheduler="heap").scheduler_name == "heap"
+        assert Simulator(scheduler="wheel").scheduler_name == "wheel"
+
+
+@pytest.mark.parametrize("make", [HeapScheduler, TimeWheelScheduler])
+class TestSchedulerContract:
+    def test_pop_order_is_time_then_seq(self, make):
+        sched = make()
+        order = []
+        entries = [(5.0, 1), (1.0, 2), (5.0, 3), (1.0, 4), (3.0, 5)]
+        for when, seq in entries:
+            sched.push(when, seq, order.append, (seq,))
+        assert len(sched) == 5
+        drained = []
+        while sched.size:
+            e = sched.pop()
+            if e[2] is FUSED:
+                bucket, j, end = e[3]
+                drained.extend(bucket[k][1] for k in range(j, end))
+            else:
+                drained.append(e[1])
+        assert drained == [2, 4, 5, 1, 3]
+
+    def test_batch_members_count_individually(self, make):
+        sched = make()
+        sched.push_batch(2.0, 10, [(print, ()), (print, ()), (print, ())])
+        assert sched.size == 3
+        assert sched.peek_time() == 2.0
+        total = 0
+        while sched.size:
+            e = sched.pop()
+            total += len(e[3]) if e[2] is BATCH else 1
+        assert total == 3
+
+    def test_interleaved_push_and_batch_drain_in_seq_order(self, make):
+        sched = make()
+        fn = lambda: None  # noqa: E731
+        sched.push(1.0, 1, fn, ())
+        sched.push_batch(1.0, 2, [(fn, ())] * 3)  # seqs 2..4
+        sched.push(1.0, 5, fn, ())
+        sched.push(0.5, 6, fn, ())
+        seqs = []
+        while sched.size:
+            e = sched.pop()
+            if e[2] is BATCH:
+                seqs.extend(range(e[1], e[1] + len(e[3])))
+            elif e[2] is FUSED:
+                bucket, j, end = e[3]
+                seqs.extend(bucket[k][1] for k in range(j, end))
+            else:
+                seqs.append(e[1])
+        assert seqs == [6, 1, 2, 3, 4, 5]
+
+
+class TestWheelMechanics:
+    def test_same_time_appends_land_behind_cursor(self):
+        sim = Simulator(scheduler="wheel")
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(0.0, lambda: seen.append("chained"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: seen.append("second"))
+        sim.run()
+        assert seen == ["first", "second", "chained"]
+
+    def test_bucket_retirement_is_identity_checked(self):
+        # Drain a bucket at t=1, then (from an event at t=2) schedule
+        # at... times are monotone, so instead re-create the *object*:
+        # two sims never share buckets, and within one run a retired
+        # time cannot recur — exercised by draining multiple buckets.
+        sim = Simulator(scheduler="wheel")
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, t)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+        assert sim.pending == 0
+
+    def test_fused_pop_preserves_logical_size(self):
+        sched = TimeWheelScheduler()
+        for seq in range(4):
+            sched.push(1.0, seq, lambda: None, ())
+        e = sched.pop()
+        assert e[2] is FUSED
+        assert sched.size == 0  # all four consumed by the fused window
+        bucket, j, end = e[3]
+        assert end - j == 4
+
+    def test_requeue_of_batch_tail_runs_before_same_time_entries(self):
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        sched.push_batch(1.0, 1, [(fn, ())] * 3)  # seqs 1..3
+        sched.push(1.0, 4, fn, ())
+        first = sched.pop()
+        assert first[2] is BATCH
+        # Run loop stopped after executing only seq 1: requeue 2..3.
+        sched.requeue(1.0, 2, [(fn, ()), (fn, ())])
+        assert sched.size == 3
+        seqs = []
+        while sched.size:
+            e = sched.pop()
+            if e[2] is BATCH:
+                seqs.extend(range(e[1], e[1] + len(e[3])))
+            elif e[2] is FUSED:
+                bucket, j, end = e[3]
+                seqs.extend(bucket[k][1] for k in range(j, end))
+            else:
+                seqs.append(e[1])
+        assert seqs == [2, 3, 4]
+
+    def test_bare_singleton_same_instant_reschedule(self):
+        # A lone entry is stored bare and unhooked at mount; a 0-delay
+        # schedule from its own callback re-creates the bucket and must
+        # still run at the same instant, in seq order.
+        sim = Simulator(scheduler="wheel")
+        seen = []
+
+        def lone():
+            seen.append("lone")
+            sim.schedule(0.0, lambda: seen.append("chained"))
+
+        sim.schedule(1.0, lone)
+        sim.run()
+        assert seen == ["lone", "chained"]
+        assert sim.now == 1.0
+
+    def test_second_push_promotes_bare_bucket_to_list(self):
+        # A run of two stays below FUSE_MIN, so the promoted bucket
+        # drains as plain singles in seq order.
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        sched.push(1.0, 1, fn, ())
+        sched.push(1.0, 2, fn, ())
+        assert [sched.pop()[1] for _ in range(2)] == [1, 2]
+        assert sched.size == 0
+
+    def test_requeue_of_bare_batch_tail(self):
+        # A batch that was the only entry at its time pops off a bare
+        # bucket; its executed prefix schedules a new same-instant
+        # entry, and the requeued tail must still run first.
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        sched.push_batch(1.0, 1, [(fn, ())] * 3)  # seqs 1..3, bare
+        first = sched.pop()
+        assert first[2] is BATCH
+        sched.push(1.0, 4, fn, ())  # scheduled by the executed prefix
+        sched.requeue(1.0, 2, [(fn, ()), (fn, ())])
+        assert sched.size == 3
+        seqs = []
+        while sched.size:
+            e = sched.pop()
+            if e[2] is BATCH:
+                seqs.extend(range(e[1], e[1] + len(e[3])))
+            elif e[2] is FUSED:
+                bucket, j, end = e[3]
+                seqs.extend(bucket[k][1] for k in range(j, end))
+            else:
+                seqs.append(e[1])
+        assert seqs == [2, 3, 4]
+
+    def test_requeue_of_bare_batch_tail_into_empty_time(self):
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        sched.push_batch(1.0, 1, [(fn, ())] * 2)
+        assert sched.pop()[2] is BATCH
+        sched.requeue(1.0, 2, [(fn, ())])  # nothing else pending at 1.0
+        assert sched.size == 1
+        e = sched.pop()
+        assert e[2] is BATCH and e[1] == 2 and len(e[3]) == 1
+
+    def test_requeue_of_fused_tail_rewinds_cursor(self):
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        for seq in range(1, 7):
+            sched.push(1.0, seq, fn, ())
+        e = sched.pop()
+        assert e[2] is FUSED
+        # Executed seqs 1-2 of the window, then stopped: requeue 3..6.
+        sched.requeue(1.0, 3, [(fn, ())] * 4)
+        assert sched.size == 4
+        e = sched.pop()
+        assert e[2] is FUSED and e[1] == 3
+        bucket, j, end = e[3]
+        assert [bucket[k][1] for k in range(j, end)] == [3, 4, 5, 6]
+
+    def test_runs_below_fuse_min_pop_as_singles(self):
+        sched = TimeWheelScheduler()
+        fn = lambda: None  # noqa: E731
+        for seq in range(1, 4):  # run of 3 < FUSE_MIN
+            sched.push(1.0, seq, fn, ())
+        popped = [sched.pop() for _ in range(3)]
+        assert all(e[2] is fn for e in popped)
+        assert [e[1] for e in popped] == [1, 2, 3]
+        assert sched.size == 0
+
+
+class TestSimulatorIntegration:
+    def test_schedule_batch_validates(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_batch(-1.0, [(print, ())])
+        sim.schedule_batch(0.0, [])  # no-op
+        assert sim.pending == 0
+
+    def test_pending_counts_batch_members(self):
+        sim = Simulator()
+        sim.schedule_batch(1.0, [(lambda: None, ())] * 5)
+        assert sim.pending == 5
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_executed == 5
+
+    def test_monitor_hook_sees_exact_pending_mid_batch(self):
+        # The slow drain keeps Simulator.pending exact per member —
+        # what the health monitor's pending_events probe reads.
+        sim = Simulator(scheduler="wheel")
+        observed = []
+        def hook(when):
+            observed.append(sim.pending)
+            return when  # due again immediately
+
+        sim._monitor_hook = hook
+        sim._monitor_due = 0.0
+        sim.schedule_batch(1.0, [(lambda: None, ())] * 3)
+        sim.run()
+        assert observed[0] >= observed[-1]
+        assert sim.events_executed == 3
+
+    def test_explicit_instance_is_used(self):
+        sched = HeapScheduler()
+        sim = Simulator(scheduler=sched)
+        assert sim.scheduler is sched
+        assert sim.scheduler_name == "heap"

@@ -13,7 +13,7 @@ from repro.profile import (
     peak_rss_bytes,
     use_profiling,
 )
-from repro.runner.result import run_experiment
+from repro.runner.result import Captures, run_experiment
 from repro.runner.spec import ExperimentSpec, ensure_registered
 from tests.conftest import run_exchange
 
@@ -120,7 +120,7 @@ def test_set_profiler_returns_previous():
 
 def test_run_experiment_profile_capture():
     spec = ExperimentSpec("latency", shape=(3, 3, 3), rounds=1, hops=1)
-    result = run_experiment(spec, profile=True)
+    result = run_experiment(spec, Captures(profile=True))
     assert result.profile is not None
     assert result.profile.events_total > 0
     # The profile never leaks into the serializable core.
@@ -162,7 +162,7 @@ def test_named_cells_deduplicate():
 @pytest.mark.parametrize("experiment", ["mdstep", "table3_critical_path"])
 def test_md_experiments_profile_with_step_phases(experiment):
     spec = ExperimentSpec(experiment, shape=(2, 2, 2), rounds=2)
-    result = run_experiment(spec, profile=True)
+    result = run_experiment(spec, Captures(profile=True))
     phases = set(result.profile.count_profile()["phases"])
     assert "step:range_limited" in phases
     assert "step:long_range" in phases
